@@ -1,0 +1,196 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation flips one modelling decision and checks the paper's
+qualitative conclusions depend on it the way the analysis claims:
+
+* **Equation 1 on/off** — without removing the direct delay, even
+  slack-tolerant configurations look catastrophically penalized.
+* **Idle-ramp cap** — the saturation constant bounds the starvation
+  cost; an uncapped ramp would make 2^15 slack-sensitive at 1 s,
+  contradicting the paper's observation.
+* **Blocking vs asynchronous launches** — the paper's synchronous
+  (pessimistic) proxy exposes more slack than an async pipeline.
+* **Phase-barrier vs free-running threads** — barrier semantics give
+  the conservative 1/T tolerance scaling; free-running threads hide
+  more (the default, matching the paper's <1% multi-thread headline).
+* **Lower vs upper binning** — quantifies the pessimism gap of the
+  bracketing in Table IV.
+"""
+
+import pytest
+
+from repro.des import Environment
+from repro.gpusim import CudaRuntime, matmul_kernel
+from repro.hw import GPUSpec
+from repro.model import CDIProfiler
+from repro.network import SlackModel
+from repro.proxy import CUDA_CALLS_PER_ITERATION, ProxyConfig, run_proxy
+from repro.trace import CopyKind
+
+
+def _loop(env, rt, n, iters, blocking=True):
+    nbytes = n * n * 4
+    kernel = matmul_kernel(n)
+
+    def host():
+        t0 = env.now
+        for _ in range(iters):
+            yield from rt.memcpy(nbytes, CopyKind.H2D)
+            yield from rt.memcpy(nbytes, CopyKind.H2D)
+            op = yield from rt.launch(kernel, blocking=blocking)
+            yield from rt.memcpy(nbytes, CopyKind.D2H)
+            yield from rt.synchronize()
+        return env.now - t0
+
+    proc = env.process(host())
+    env.run()
+    return proc.value
+
+
+def _run(slack_s, n=8192, iters=10, blocking=True, gpu=None):
+    env = Environment()
+    rt = CudaRuntime(env, gpu=gpu or GPUSpec(), slack=SlackModel(slack_s))
+    wall = _loop(env, rt, n, iters, blocking)
+    return wall, rt.injector.total_injected_s
+
+
+class TestEquation1Ablation:
+    def test_without_correction_every_config_looks_intolerant(self, benchmark):
+        def measure():
+            base, _ = _run(0.0)
+            wall, injected = _run(10e-3)
+            return {
+                "raw_ratio": wall / base,
+                "corrected_ratio": (wall - injected) / base,
+            }
+
+        result = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # Raw ratio conflates the admissible direct delay with
+        # starvation; Eq. 1 isolates the ~9% residual.
+        assert result["raw_ratio"] > result["corrected_ratio"] + 0.3
+        assert 1.05 < result["corrected_ratio"] < 1.15
+        print(f"\nEq.1 ablation: raw {result['raw_ratio']:.3f}x vs "
+              f"corrected {result['corrected_ratio']:.3f}x")
+
+
+class TestIdleRampCapAblation:
+    def test_uncapped_ramp_breaks_2_15_immunity(self, benchmark):
+        def measure():
+            out = {}
+            for label, cap in (("capped", 25e-3), ("uncapped", 1e9)):
+                gpu = GPUSpec(idle_ramp_cap_s=cap)
+                base, _ = _run(0.0, n=2**15, iters=3, gpu=gpu)
+                wall, injected = _run(1.0, n=2**15, iters=3, gpu=gpu)
+                out[label] = (wall - injected) / base
+            return out
+
+        result = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # Paper: no slack value up to 1 s affects 2^15. The cap is the
+        # mechanism: uncapped, a 1 s gap would cost ~0.9 s per kernel.
+        assert result["capped"] < 1.01
+        assert result["uncapped"] > 1.2
+        print(f"\nidle-ramp cap ablation at 2^15 / 1 s slack: "
+              f"capped {result['capped']:.4f}x vs "
+              f"uncapped {result['uncapped']:.3f}x")
+
+
+class TestSynchronousLaunchAblation:
+    def test_async_hides_launch_slack(self, benchmark):
+        def measure():
+            out = {}
+            for label, blocking in (("blocking", True), ("async", False)):
+                base, _ = _run(0.0, n=8192, iters=10, blocking=blocking)
+                wall, injected = _run(10e-3, n=8192, iters=10,
+                                      blocking=blocking)
+                out[label] = (wall - injected) / base
+            return out
+
+        result = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # With async launches, the post-launch slack overlaps the
+        # kernel: the corrected ratio drops below the blocking case
+        # (the paper's pessimistic-case rationale).
+        assert result["async"] < result["blocking"]
+        print(f"\nlaunch-mode ablation at 2^13 / 10 ms: "
+              f"blocking {result['blocking']:.4f}x vs "
+              f"async {result['async']:.4f}x")
+
+
+class TestThreadSemanticsAblation:
+    def test_barrier_vs_free_running(self, benchmark):
+        def measure():
+            out = {}
+            for label, barrier in (("barrier", True), ("free", False)):
+                cfg = ProxyConfig(matrix_size=512, threads=8, iterations=25,
+                                  phase_barrier=barrier)
+                base = run_proxy(cfg)
+                slow = run_proxy(cfg, SlackModel(100e-6))
+                out[label] = max(
+                    0.0,
+                    slow.corrected_runtime_s / base.loop_runtime_s - 1.0,
+                )
+            return out
+
+        result = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # Barrier semantics expose one slack per phase (conservative
+        # ~1/T scaling); free-running threads hide it completely.
+        assert result["free"] <= result["barrier"]
+        assert result["barrier"] > 0.02
+        print(f"\nthread-semantics ablation at 2^9 / 100 us / 8 threads: "
+              f"barrier penalty {result['barrier']:.4f} vs "
+              f"free-running {result['free']:.4f}")
+
+
+class TestBinningPessimismAblation:
+    def test_bracket_gap_quantified(self, benchmark, ctx):
+        profiler = CDIProfiler(ctx.surface())
+        profile = ctx.lammps_profile()
+
+        def measure():
+            p = profiler.predict(profile, 10e-3)
+            return {"lower": p.lower, "upper": p.upper}
+
+        result = benchmark.pedantic(measure, rounds=1, iterations=1)
+        # The pessimism gap at large slack spans more than an order of
+        # magnitude — the paper's 'severely pessimistic' upper bound.
+        assert result["upper"] > 5 * result["lower"]
+        print(f"\nbinning ablation (LAMMPS @ 10 ms): lower "
+              f"{result['lower']:.4f} vs upper {result['upper']:.4f}")
+
+
+class TestOccupancyAblation:
+    def test_sm_co_scheduling_shortens_small_kernel_bursts(self, benchmark):
+        """SM-occupancy co-scheduling: 6 small SGEMMs co-resident on
+        the device finish in ~1 wave instead of 6 serial executions —
+        the queue-feeding mechanism slack tolerance rides on."""
+        from repro.des import Environment
+        from repro.gpusim import CudaRuntime, matmul_kernel
+
+        def burst(concurrent):
+            env = Environment()
+            rt = CudaRuntime(env, concurrent_kernels=concurrent)
+            k = matmul_kernel(512)
+            streams = [rt.create_stream() for _ in range(6)]
+
+            def host():
+                t0 = env.now
+                ops = []
+                for s in streams:
+                    op = yield from rt.launch(k, stream=s)
+                    ops.append(op)
+                for op in ops:
+                    if not op.completion.processed:
+                        yield op.completion
+                return env.now - t0
+
+            proc = env.process(host())
+            env.run()
+            return proc.value
+
+        result = benchmark.pedantic(
+            lambda: {"serial": burst(False), "concurrent": burst(True)},
+            rounds=1, iterations=1,
+        )
+        assert result["concurrent"] < 0.4 * result["serial"]
+        print(f"\noccupancy ablation: 6x sgemm_512 burst "
+              f"serial {result['serial'] * 1e6:.0f} us vs "
+              f"co-scheduled {result['concurrent'] * 1e6:.0f} us")

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate CosmoFlow's CPU-ratio study (Section IV-A)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_cosmoflow_cpu(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("cosmoflow_cpu", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    ys = result.series[0].lines["CosmoFlow"]
+    assert all(y == pytest.approx(1.0) for y in ys[1:])

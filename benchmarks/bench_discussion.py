@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the Section V scheduling comparison."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_discussion(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("discussion", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    table = result.tables[0]
+    cdi = {r[1]: r for r in table.rows if r[0] == "CDI"}
+    assert cdi["lammps"][4] == pytest.approx(19.2)
+    assert cdi["cosmoflow"][4] == pytest.approx(4.8)

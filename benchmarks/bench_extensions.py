@@ -1,0 +1,93 @@
+"""Benchmarks: the prose-claim extension experiments."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_collectives(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_collectives", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    factor = float(result.notes[0].split("(")[1].split("x")[0])
+    assert factor > 2.0  # packing a chassis pays for collectives
+
+
+def test_bench_ext_congestion(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_congestion", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    assert all(row[2] for row in result.tables[0].rows)
+
+
+def test_bench_ext_preload(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_preload", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    shortfalls = result.tables[0].column("shortfall [%]")
+    assert max(shortfalls) > 25  # half-coverage loses a quarter+
+
+
+def test_bench_ext_power(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_power", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    powers = dict(zip(result.tables[0].column("scheduler"),
+                      result.tables[0].column("idle power [W]")))
+    assert powers["CDI"] == 0
+
+
+def test_bench_ext_remoting(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_remoting", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    for row in result.tables[0].rows:
+        assert row[5] > row[4]  # remoting overhead > CDI overhead
+
+
+def test_bench_ext_sensitivity(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_sensitivity", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    cap = result.tables[1]
+    holds = dict(zip(cap.column("cap [ms]"), cap.column("anchor holds")))
+    assert holds[25.0] is True
+
+
+def test_bench_ext_graphs(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_graphs", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    factors = result.tables[0].column("mitigation factor")
+    assert all(f > 3 for f in factors)
+
+
+def test_bench_ext_throughput(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_throughput", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    rows = {r[0]: r for r in result.tables[0].rows}
+    assert rows["CDI"][1] < rows["traditional"][1]
+
+
+def test_bench_ext_weak_scaling(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_weak_scaling", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    assert all(a > 1.0 for a in result.tables[0].column("CDI advantage"))
+
+
+def test_bench_ext_resilience(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_resilience", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    rows = {r[0]: r for r in result.tables[0].rows}
+    assert rows["none"][1] == 2

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 1 (path decomposition per scale)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure1(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure1", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    slacks = result.tables[0].column("slack [us]")
+    assert all(b > a for a, b in zip(slacks, slacks[1:]))
+    assert max(slacks) < 100  # all scales far below the tolerance

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 2 (LAMMPS strong scaling)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure2(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure2", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    s = result.series[0]
+    # Who wins where: big boxes gain from ranks, the small box loses.
+    assert s.lines["Box Size 120"][-1] == pytest.approx(0.444, abs=0.03)
+    assert s.lines["Box Size 20"][-1] > 5

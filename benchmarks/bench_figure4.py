@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 4 (kernel-duration distributions)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure4(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure4", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    lammps, cosmo = result.tables
+    assert lammps.column("kernel")[-1] == "Total"
+    # CosmoFlow's top five cover about half the kernel time (paper 49.9%).
+    share = float(cosmo.notes[0].split("cover ")[1].split("%")[0])
+    assert 40 < share < 65

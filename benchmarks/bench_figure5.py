@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 (memcpy-size distributions)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure5(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure5", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    for table in result.tables:
+        assert "Total" in table.column("direction")

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Section IV-A OpenMP scaling results."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_omp_scaling(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("omp_scaling", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    measured = result.tables[0].column("measured")
+    assert abs(float(measured[0].split("%")[0]) - 52.3) < 4
+    assert abs(float(measured[1].split("%")[0]) - 76.4) < 4

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (LAMMPS box sizes and runtimes)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", ctx), rounds=3, iterations=1
+    )
+    print_result(result)
+    # Shape check: model within 7% of every published runtime.
+    assert all(abs(d) < 7 for d in result.tables[0].column("Delta %"))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (proxy calibration)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table2(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    table = result.tables[0]
+    assert table.column("Iterations (N)")[0] == 1000
+    assert table.column("Matrix [MiB]") == [1, 16, 256, 4096]

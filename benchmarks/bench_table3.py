@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table III (transfer-size binning)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table3(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    rows = {row[0]: row for row in result.tables[0].rows}
+    # Means near the paper's 16.85 / 34.4 MiB.
+    assert rows["lammps"][6] == pytest.approx(16.85, rel=0.25)
+    assert rows["cosmoflow"][6] == pytest.approx(34.4, rel=0.35)

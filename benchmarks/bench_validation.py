@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Section IV-D methodology self-validation."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_validation(benchmark, ctx, print_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("validation", ctx), rounds=1, iterations=1
+    )
+    print_result(result)
+    for row in result.tables[0].rows:
+        actual, lower = row[2], row[3]
+        assert abs(lower - actual) <= max(0.005, 0.06 * actual)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact and prints the same
+rows/series the paper reports (run pytest with ``-s`` to see them).
+The shared :class:`ExperimentContext` reuses the disk-cached proxy
+surface, so the first run of the suite pays the sweep cost once.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-repro",
+        action="store_true",
+        default=False,
+        help="use the paper's full run lengths (slow) instead of quick mode",
+    )
+
+
+@pytest.fixture(scope="session")
+def ctx(request):
+    return ExperimentContext(quick=not request.config.getoption("--full-repro"))
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    def _print(result):
+        print()
+        print(result.render())
+
+    return _print

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Compose a row-scale CDI system and place jobs on its fabric.
+
+Builds the paper's Section V scenario as an operating system would see
+it: a resource pool of CPU nodes and GPU chassis, two jobs with
+opposite CPU:GPU shapes, both scheduling disciplines, and the physical
+fabric that turns each placement into a concrete slack value — checked
+against the 100 us tolerance the proxy methodology established.
+
+Run:  python examples/cluster_composition.py
+"""
+
+from repro.cdi import (
+    CDIScheduler,
+    CPUNode,
+    GPUChassis,
+    JobRequest,
+    PlacementResolver,
+    ResourcePool,
+    TraditionalScheduler,
+)
+from repro.network import Fabric, FabricSpec, Scale
+
+
+def main() -> None:
+    # Inventory: 20 single-socket CPU nodes + two 20-GPU chassis in a
+    # row of 8 racks (chassis in racks 0 and 4).
+    pool = ResourcePool(
+        nodes=[CPUNode(node_id=f"cpu{i}") for i in range(20)],
+        chassis=[
+            GPUChassis(chassis_id="chassis-a", gpu_count=20, rack=0),
+            GPUChassis(chassis_id="chassis-b", gpu_count=20, rack=4),
+        ],
+    )
+    jobs_cdi = [
+        JobRequest(name="lammps", cores=16 * 24, gpus=20),
+        JobRequest(name="cosmoflow", cores=4 * 24, gpus=20),
+    ]
+
+    print("=== traditional node scheduling (1 CPU + 2 GPUs per node) ===")
+    trad = TraditionalScheduler(node_count=20, cores_per_node=24,
+                                gpus_per_node=2).schedule(
+        [JobRequest(name=j.name, cores=24, gpus=j.gpus) for j in jobs_cdi]
+    )
+    for p in trad.placements:
+        print(f"  {p.job.name:10s}: {p.granted_cores:4d} cores, "
+              f"{p.granted_gpus:2d} GPUs "
+              f"({p.cores_per_gpu:.1f} cores/GPU), "
+              f"traps {p.trapped_cores} cores")
+
+    print("\n=== CDI composition ===")
+    scheduler = CDIScheduler(pool)
+    outcome = scheduler.schedule(jobs_cdi)
+    for p in outcome.placements:
+        comp = scheduler.compositions[p.job.name]
+        chassis_used = ", ".join(
+            f"{cid}({len(slots)} GPUs)" for cid, slots in comp.gpus.items()
+        )
+        print(f"  {p.job.name:10s}: {p.granted_cores:4d} cores, "
+              f"{p.granted_gpus:2d} GPUs "
+              f"({p.cores_per_gpu:.1f} cores/GPU) from {chassis_used}")
+    print(f"  trapped resources: {outcome.trapped_cores} cores, "
+          f"{outcome.trapped_gpus} GPUs")
+
+    print("\n=== physical placement -> slack ===")
+    fabric = Fabric(FabricSpec(scale=Scale.ROW, racks_per_row=8,
+                               chassis_racks=(0, 4)))
+    resolver = PlacementResolver(fabric)
+    chassis_racks = {"chassis-a": 0, "chassis-b": 4}
+    for name, host in (("lammps", "host:7:0"), ("cosmoflow", "host:1:0")):
+        comp = scheduler.compositions[name]
+        slack = resolver.resolve(comp, host, chassis_racks)
+        status = "OK" if slack.worst_slack_s < 100e-6 else "OVER BUDGET"
+        print(f"  {name:10s} from {host}: worst-path slack "
+              f"{slack.worst_slack_s * 1e6:6.3f} us "
+              f"[{status} vs the 100 us tolerance]")
+
+    worst = fabric.worst_case_slack()
+    print(f"\nrow worst-case slack: {worst * 1e6:.3f} us — three orders of "
+          f"magnitude below the applications' 100 us tolerance, which is "
+          f"why the paper concludes even cluster-scale CDI is viable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CDI-profile a GPU-dominant ML application (CosmoFlow).
+
+The AI/ML counterpart to the LAMMPS example: CosmoFlow needs almost no
+CPU (2 cores) but wants as many tightly-coupled GPUs as possible —
+the opposite corner of the CPU:GPU ratio space, and exactly the job
+shape CDI serves by composing many pooled GPUs behind one thin host.
+
+Run:  python examples/cosmoflow_cdi_profile.py
+"""
+
+from repro import (
+    CDIProfiler,
+    CosmoFlowProfileConfig,
+    ExperimentContext,
+    profile_cosmoflow,
+)
+from repro.apps.cosmoflow import (
+    COSMOFLOW_REQUIRED_CORES,
+    CosmoFlowNet,
+    cosmoflow_cpu_runtime,
+)
+from repro.hw import A100_SXM4_40GB, MiB
+
+SLACKS = (1e-6, 1e-5, 1e-4, 1e-3)
+
+
+def main() -> None:
+    config = CosmoFlowProfileConfig(epochs=1, train_samples=256,
+                                    val_samples=256)
+    net = CosmoFlowNet(batch_size=config.batch_size)
+
+    print("=== 1. CPU affinity ===")
+    base = cosmoflow_cpu_runtime(COSMOFLOW_REQUIRED_CORES, config)
+    for cores in (1, 2, 8, 48):
+        t = cosmoflow_cpu_runtime(cores, config)
+        print(f"  {cores:2d} cores: {t:7.1f} s ({t / base:.3f}x)")
+    print(f"  -> needs only {COSMOFLOW_REQUIRED_CORES} cores; a "
+          f"traditional 4-GPU node strands 40 of its 48 cores\n")
+
+    print("=== 2. the network and its kernel stream ===")
+    print(f"  {net.parameter_count() / 1e6:.1f} M parameters, "
+          f"{net.sample_bytes() // MiB} MiB per input sample")
+    print(f"  {len(net.training_step_kernels())} kernels per training step, "
+          f"{net.step_gpu_seconds(A100_SXM4_40GB) * 1e3:.0f} ms of GPU time")
+
+    profile = profile_cosmoflow(config)
+    kernels = profile.trace.kernels()
+    top = kernels.top_names_by_total_time(5)
+    share = sum(kernels.by_name()[n].total_time() for n in top)
+    print(f"  traced: {len(kernels)} kernel executions; top-5 "
+          f"({', '.join(top[:3])}, ...) cover "
+          f"{100 * share / kernels.total_time():.1f}% of kernel time")
+    print(f"  effective queue parallelism: {profile.queue_parallelism} "
+          f"(pessimistic reading of the 1/7 launch-phase ratio)\n")
+
+    print("=== 3. predicted slack penalty ===")
+    ctx = ExperimentContext(quick=True)
+    profiler = CDIProfiler(ctx.surface())
+    print(f"  {'slack':>10}  {'lower':>9}  {'upper':>9}")
+    for slack in SLACKS:
+        p = profiler.predict(profile, slack)
+        print(f"  {slack * 1e6:7.0f} us  {p.lower_percent:8.3f}%  "
+              f"{p.upper_percent:8.3f}%")
+    verdict = profiler.predict(profile, 100e-6)
+    print(f"\nverdict: at 100 us CosmoFlow pessimistically loses "
+          f"{verdict.upper_percent:.3f}% — its long kernel sequences keep "
+          f"the GPU fed across the fabric; penalties only appear at "
+          f"millisecond-scale slack.")
+
+
+if __name__ == "__main__":
+    main()

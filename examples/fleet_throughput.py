@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Fleet-level throughput study: does CDI actually move the needle?
+
+Simulates a week-scale stream of mixed jobs (CPU-heavy, GPU-heavy,
+CPU-only — the paper's three archetypes) on the same physical
+inventory scheduled two ways, and sweeps the GPU-job share to find
+where composability pays the most.
+
+Run:  python examples/fleet_throughput.py
+"""
+
+import numpy as np
+
+from repro.cdi import (
+    ClusterSpec,
+    SimJob,
+    compare_throughput,
+    synthetic_job_mix,
+)
+
+CLUSTER = ClusterSpec(nodes=16, cores_per_node=48, gpus_per_node=4)
+
+
+def show(label: str, metrics) -> None:
+    print(f"  {label:12s} makespan {metrics.makespan_s / 3600:6.1f} h | "
+          f"mean wait {metrics.mean_wait_s / 60:7.1f} min | "
+          f"GPU util {metrics.gpu_utilization:5.1%} | "
+          f"trapped {metrics.trapped_gpu_hours:6.1f} GPU-h")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    jobs = synthetic_job_mix(120, rng, cluster=CLUSTER)
+    print(f"=== 120 mixed jobs on {CLUSTER.nodes} nodes "
+          f"({CLUSTER.total_cores} cores, {CLUSTER.total_gpus} GPUs) ===")
+    trad, cdi = compare_throughput(jobs, CLUSTER)
+    show("traditional", trad)
+    show("CDI", cdi)
+    print(f"  -> CDI: {trad.makespan_s / cdi.makespan_s:.2f}x faster "
+          f"time-to-solution, {trad.mean_wait_s / cdi.mean_wait_s:.1f}x "
+          f"shorter queues\n")
+
+    print("=== where does composability pay most? "
+          "(CPU-only share of the stream) ===")
+    for cpu_share in (0.0, 0.25, 0.5, 0.75):
+        rng = np.random.default_rng(11)
+        jobs = []
+        t = 0.0
+        for i in range(100):
+            t += float(rng.exponential(600.0))
+            if rng.random() < cpu_share:
+                jobs.append(SimJob(f"cpu-{i}", t, 3600.0, cores=48, gpus=0))
+            else:
+                jobs.append(SimJob(f"gpu-{i}", t, 7200.0, cores=8, gpus=8))
+        trad, cdi = compare_throughput(jobs, CLUSTER)
+        print(f"  {cpu_share:4.0%} CPU-only: traditional traps "
+              f"{trad.trapped_gpu_hours:7.1f} GPU-h, CDI speedup "
+              f"{trad.makespan_s / cdi.makespan_s:.2f}x")
+
+    print("\nthe more heterogeneous the mix, the more a fixed node shape "
+          "strands — exactly the utilization argument that motivates "
+          "row-scale CDI once slack is shown to be harmless.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Map a slack response surface for your own grid (Figure 3 workflow).
+
+Shows the proxy sweep machinery directly: pick a matrix-size /
+slack / thread grid, sweep it, and query the resulting surface —
+including the distance interpretation of every slack value. This is
+the tool a prospective CDI adopter runs to bound their own workloads.
+
+Run:  python examples/proxy_slack_sweep.py
+"""
+
+from repro import (
+    SlackResponseSurface,
+    fibre_distance_for_latency,
+    run_slack_sweep,
+)
+
+MATRIX_SIZES = (512, 2048, 8192)
+SLACKS = (1e-6, 1e-4, 1e-2)
+THREADS = (1, 4)
+
+
+def main() -> None:
+    print("sweeping the proxy (this runs the full simulated loop per "
+          "grid point)...")
+    sweep = run_slack_sweep(
+        matrix_sizes=MATRIX_SIZES,
+        slack_values_s=SLACKS,
+        threads=THREADS,
+        iterations=25,
+    )
+    print(f"measured {len(sweep.points)} points; "
+          f"skipped {len(sweep.skipped)} out-of-memory configs\n")
+
+    surface = SlackResponseSurface(sweep)
+    for threads in THREADS:
+        print(f"--- {threads} thread(s): corrected runtime normalized to "
+              f"zero slack ---")
+        header = "matrix".ljust(8) + "".join(
+            f"{s * 1e6:>12.0f}us" for s in SLACKS
+        )
+        print(header)
+        for n in surface.matrix_sizes(threads):
+            row = f"{n:<8d}"
+            for s in SLACKS:
+                row += f"{1.0 + surface.penalty(n, s, threads):>14.4f}"
+            print(row)
+        print()
+
+    print("distance interpretation of the slack grid:")
+    for s in SLACKS:
+        km = fibre_distance_for_latency(s) / 1e3
+        print(f"  {s * 1e6:>8.0f} us  =  {km:>10.1f} km of fibre (one-way)")
+
+    print("\ninterpolated queries off the measured grid:")
+    for s in (5e-5, 3e-3):
+        p = surface.penalty(2048, s, threads=1)
+        print(f"  penalty(2048, {s * 1e6:.0f} us, 1 thread) = {p:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Slack mitigation playbook: what to do when a workload is intolerant.
+
+Starts from a deliberately bad case — a tiny-kernel loop at
+millisecond slack, where the naive port suffers badly — and applies
+the three mitigations the simulator models, measuring each:
+
+1. batch the loop into a CUDA graph (one API call per iteration);
+2. feed the GPU from more concurrent submitters;
+3. co-schedule small kernels by SM occupancy.
+
+Run:  python examples/slack_mitigation.py
+"""
+
+from repro.des import Environment
+from repro.gpusim import CudaGraph, CudaRuntime, matmul_kernel
+from repro.network import SlackModel
+from repro.trace import CopyKind
+
+N = 512
+ITERS = 40
+SLACK = 1e-3  # a deliberately hostile 1 ms per call
+
+
+def baseline_loop(slack_s, threads=1, concurrent=False):
+    """The naive synchronous loop, optionally multi-threaded."""
+    env = Environment()
+    rt = CudaRuntime(env, slack=SlackModel(slack_s),
+                     concurrent_kernels=concurrent)
+    nbytes = N * N * 4
+    kernel = matmul_kernel(N)
+
+    def worker(tid):
+        stream = rt.create_stream()
+        for _ in range(ITERS):
+            yield from rt.memcpy(nbytes, CopyKind.H2D, stream, tid)
+            yield from rt.memcpy(nbytes, CopyKind.H2D, stream, tid)
+            yield from rt.launch(kernel, stream, tid, blocking=True)
+            yield from rt.memcpy(nbytes, CopyKind.D2H, stream, tid)
+            yield from rt.synchronize(stream=stream, thread=tid)
+
+    def main():
+        t0 = env.now
+        workers = [env.process(worker(t)) for t in range(threads)]
+        yield env.all_of(workers)
+        return env.now - t0
+
+    proc = env.process(main())
+    env.run()
+    return proc.value
+
+
+def graphed_loop(slack_s):
+    """The same loop captured as one CUDA graph per iteration."""
+    env = Environment()
+    rt = CudaRuntime(env, slack=SlackModel(slack_s))
+    nbytes = N * N * 4
+    graph = (
+        CudaGraph(rt, name="iteration")
+        .add_memcpy(nbytes, CopyKind.H2D)
+        .add_memcpy(nbytes, CopyKind.H2D)
+        .add_kernel(matmul_kernel(N))
+        .add_memcpy(nbytes, CopyKind.D2H)
+        .instantiate()
+    )
+
+    def main():
+        t0 = env.now
+        for _ in range(ITERS):
+            yield from graph.launch(blocking=True)
+        return env.now - t0
+
+    proc = env.process(main())
+    env.run()
+    return proc.value
+
+
+def overhead(with_slack, without_slack):
+    return 100.0 * (with_slack / without_slack - 1.0)
+
+
+def main() -> None:
+    print(f"workload: {ITERS}x [2 H2D + sgemm_{N} + D2H + sync], "
+          f"slack {SLACK * 1e3:.0f} ms per call\n")
+
+    naive = overhead(baseline_loop(SLACK), baseline_loop(0.0))
+    print(f"0. naive synchronous port          : +{naive:7.1f}% "
+          f"(5 calls x 1 ms each iteration, plus starvation)")
+
+    graphed = overhead(graphed_loop(SLACK), graphed_loop(0.0))
+    print(f"1. CUDA-graph batched iterations   : +{graphed:7.1f}% "
+          f"(one call per iteration: ~5x less exposure)")
+
+    threaded = overhead(
+        baseline_loop(SLACK, threads=8), baseline_loop(0.0, threads=8)
+    )
+    print(f"2. eight concurrent submitters     : +{threaded:7.1f}% "
+          f"(other threads' work fills the gaps)")
+
+    combined = overhead(
+        baseline_loop(SLACK, threads=8, concurrent=True),
+        baseline_loop(0.0, threads=8, concurrent=True),
+    )
+    print(f"3. + SM-occupancy co-scheduling    : +{combined:7.1f}% "
+          f"(small kernels share the device)")
+
+    print("\ntakeaway: an application that looks slack-intolerant under "
+          "naive per-call submission usually has software paths back "
+          "inside the tolerance — batching and parallel feeding are the "
+          "same levers the paper identifies (long kernels, or many "
+          "short ones in flight).")
+
+
+if __name__ == "__main__":
+    main()

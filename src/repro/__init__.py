@@ -1,0 +1,86 @@
+"""rowscale-cdi: reproduction of "Examining the Viability of Row-Scale
+Disaggregation for Production Applications" (Shorts & Grant, SC 2024).
+
+A discrete-event GPU/network simulator, the paper's slack-injection
+proxy methodology, mechanistic LAMMPS and CosmoFlow workload models,
+and the analytic slack-penalty prediction model (Equations 1-3) —
+plus per-table/figure experiment runners.
+
+Quickstart
+----------
+>>> from repro import ProxyConfig, run_proxy, SlackModel
+>>> base = run_proxy(ProxyConfig(matrix_size=4096, iterations=10))
+>>> slowed = run_proxy(ProxyConfig(matrix_size=4096, iterations=10),
+...                    SlackModel(100e-6))
+>>> penalty = slowed.corrected_runtime_s / base.loop_runtime_s - 1
+
+See ``examples/`` for complete scenarios and ``repro.experiments`` for
+the per-paper-artifact runners.
+"""
+
+from .apps import (
+    CosmoFlowProfileConfig,
+    LammpsProfileConfig,
+    LammpsScalingModel,
+    LJParams,
+    profile_cosmoflow,
+    profile_lammps,
+)
+from .des import Environment
+from .experiments import ExperimentContext, run_all, run_experiment
+from .gpusim import CudaRuntime, KernelSpec, matmul_kernel
+from .hw import A100_SXM4_40GB, EPYC_7413, GPUSpec, NARVAL_NODE, NodeSpec
+from .model import CDIProfiler, SlackPrediction
+from .network import (
+    Fabric,
+    FabricSpec,
+    SlackModel,
+    fibre_distance_for_latency,
+    latency_for_fibre_distance,
+)
+from .proxy import (
+    ProxyConfig,
+    ProxyResult,
+    SlackResponseSurface,
+    run_proxy,
+    run_slack_sweep,
+)
+from .trace import Trace, Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Environment",
+    "CudaRuntime",
+    "KernelSpec",
+    "matmul_kernel",
+    "GPUSpec",
+    "NodeSpec",
+    "A100_SXM4_40GB",
+    "EPYC_7413",
+    "NARVAL_NODE",
+    "SlackModel",
+    "Fabric",
+    "FabricSpec",
+    "fibre_distance_for_latency",
+    "latency_for_fibre_distance",
+    "Trace",
+    "Tracer",
+    "ProxyConfig",
+    "ProxyResult",
+    "run_proxy",
+    "run_slack_sweep",
+    "SlackResponseSurface",
+    "LJParams",
+    "LammpsScalingModel",
+    "LammpsProfileConfig",
+    "profile_lammps",
+    "CosmoFlowProfileConfig",
+    "profile_cosmoflow",
+    "CDIProfiler",
+    "SlackPrediction",
+    "ExperimentContext",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,36 @@
+"""Production application models: LAMMPS (CPU-heavy) and CosmoFlow
+(GPU-dominant), the two workload archetypes the paper profiles."""
+
+from .base import AppProfile, ApplicationModel
+from .cpuonly import CpuOnlyApp, trapped_gpu_analysis
+from .cosmoflow import (
+    COSMOFLOW_REQUIRED_CORES,
+    CosmoFlowNet,
+    CosmoFlowProfileConfig,
+    cosmoflow_cpu_runtime,
+    profile_cosmoflow,
+)
+from .lammps import (
+    LJParams,
+    LammpsProfileConfig,
+    LammpsScalingModel,
+    PAPER_BOX_SIZES,
+    profile_lammps,
+)
+
+__all__ = [
+    "AppProfile",
+    "ApplicationModel",
+    "LJParams",
+    "LammpsScalingModel",
+    "LammpsProfileConfig",
+    "profile_lammps",
+    "PAPER_BOX_SIZES",
+    "CosmoFlowNet",
+    "CosmoFlowProfileConfig",
+    "profile_cosmoflow",
+    "cosmoflow_cpu_runtime",
+    "COSMOFLOW_REQUIRED_CORES",
+    "CpuOnlyApp",
+    "trapped_gpu_analysis",
+]

@@ -1,0 +1,71 @@
+"""Common interface for production-application models.
+
+An application model can do two things:
+
+* **answer analytically** — closed-form runtime as a function of the
+  resource allocation (MPI processes, OpenMP threads), reproducing the
+  CPU-to-GPU-ratio experiments of Section IV-A;
+* **run on the simulator** — emit its kernel and memcpy stream through
+  the simulated CUDA runtime, producing the NSys-like traces that
+  Figures 4-5, Table III and the prediction model consume.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..trace import Trace
+
+__all__ = ["AppProfile", "ApplicationModel"]
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """The result of profiling one application run.
+
+    Attributes
+    ----------
+    name:
+        Application name ("lammps", "cosmoflow").
+    trace:
+        Kernel/memcpy/API events recorded during the run.
+    runtime_s:
+        Wall-clock (simulated) runtime of the profiled region.
+    queue_parallelism:
+        Effective number of kernels concurrently queued at the GPU —
+        the paper reads 8 for LAMMPS (one launcher per MPI process)
+        and adopts a pessimistic 4 for CosmoFlow (whose kernel
+        sequences are launched in ~1/7th of their execution time).
+    cuda_calls_per_second:
+        Rate of host-visible CUDA API calls, which multiplied by the
+        per-call slack gives the *direct* (admissible) delay.
+    """
+
+    name: str
+    trace: Trace
+    runtime_s: float
+    queue_parallelism: int
+    cuda_calls_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.runtime_s <= 0:
+            raise ValueError("runtime_s must be positive")
+        if self.queue_parallelism < 1:
+            raise ValueError("queue_parallelism must be >= 1")
+
+
+class ApplicationModel(abc.ABC):
+    """Base class for the production-application workload models."""
+
+    #: Human-readable application name.
+    name: str = "app"
+
+    @abc.abstractmethod
+    def runtime(self, processes: int = 1, threads: int = 1) -> float:
+        """Analytic runtime for a CPU allocation (strong scaling)."""
+
+    @abc.abstractmethod
+    def profile(self, **kwargs) -> AppProfile:
+        """Run on the simulated GPU and return the traced profile."""

@@ -1,0 +1,38 @@
+"""CosmoFlow (MLPerf HPC, mini dataset) workload model.
+
+A 3D-CNN training loop over the simulated GPU: layer-derived kernel
+sequences, prefetch input pipeline, Horovod-style gradient exchange —
+the GPU-dominant counterpart to LAMMPS in the paper's study.
+"""
+
+from .layers import (
+    CONV_CHANNELS,
+    Conv3DBlock,
+    DENSE_UNITS,
+    DenseLayer,
+    INPUT_SHAPE,
+    cosmoflow_layers,
+)
+from .model import CosmoFlowNet
+from .training import (
+    COSMOFLOW_REQUIRED_CORES,
+    CosmoFlowProfileConfig,
+    LAUNCH_PHASE_FRACTION,
+    cosmoflow_cpu_runtime,
+    profile_cosmoflow,
+)
+
+__all__ = [
+    "CosmoFlowNet",
+    "Conv3DBlock",
+    "DenseLayer",
+    "cosmoflow_layers",
+    "INPUT_SHAPE",
+    "CONV_CHANNELS",
+    "DENSE_UNITS",
+    "CosmoFlowProfileConfig",
+    "profile_cosmoflow",
+    "cosmoflow_cpu_runtime",
+    "COSMOFLOW_REQUIRED_CORES",
+    "LAUNCH_PHASE_FRACTION",
+]

@@ -1,0 +1,43 @@
+"""LAMMPS (LJ benchmark, GPU package) workload model.
+
+Analytic strong-scaling runtimes (Table I, Figure 2, the OpenMP
+results) plus a traced simulation of the GPU package's per-step data
+path (Figures 4-5, Table III).
+"""
+
+from .gpu_offload import (
+    FORCE_BYTES_PER_ATOM,
+    LammpsProfileConfig,
+    NEIGHBOR_EVERY,
+    PAIR_SECONDS_PER_ATOM,
+    POSITION_BYTES_PER_ATOM,
+    profile_lammps,
+)
+from .lj import ATOMS_PER_UNIT_BOX, DEFAULT_BOX, LJParams, PAPER_BOX_SIZES
+from .scaling import LammpsScalingModel, PER_ATOM_RUN_S, SETUP_S
+from .weak_scaling import (
+    BasicUnit,
+    WeakScalingProjection,
+    find_basic_unit,
+    project_weak_scaling,
+)
+
+__all__ = [
+    "LJParams",
+    "DEFAULT_BOX",
+    "ATOMS_PER_UNIT_BOX",
+    "PAPER_BOX_SIZES",
+    "LammpsScalingModel",
+    "SETUP_S",
+    "PER_ATOM_RUN_S",
+    "LammpsProfileConfig",
+    "profile_lammps",
+    "POSITION_BYTES_PER_ATOM",
+    "FORCE_BYTES_PER_ATOM",
+    "PAIR_SECONDS_PER_ATOM",
+    "NEIGHBOR_EVERY",
+    "BasicUnit",
+    "WeakScalingProjection",
+    "find_basic_unit",
+    "project_weak_scaling",
+]

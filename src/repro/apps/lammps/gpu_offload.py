@@ -1,0 +1,161 @@
+"""LAMMPS GPU-package offload simulation: the traced profile.
+
+Runs the LJ benchmark's CPU-GPU interaction pattern on the simulated
+CUDA runtime, producing the kernel-duration and memcpy-size
+distributions the paper extracts with NSys (Figures 4-5, Table III).
+
+Per MPI rank, per timestep (the GPU package's data path):
+
+* pack + H2D positions (mixed precision: 12 B/atom);
+* launch the LJ pair-force kernel over the rank's subdomain;
+* D2H forces (double precision: 24 B/atom);
+* CPU-side integration/neighbour bookkeeping (a timeout);
+* a per-step BSP barrier standing in for the MPI halo exchange.
+
+Every ``neighbor_every`` steps a rank additionally rebuilds its
+neighbour list: one small H2D (bin metadata) plus a longer build
+kernel. These knobs reproduce Table III's LAMMPS row: ~84k transfers
+at box 120 / 8 ranks / 5000 steps, bulk in the (1, 16] MiB (positions)
+and (16, 256] MiB (forces) bins plus ~2.3k sub-MiB neighbour updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ...des import Barrier, Environment, Event
+from ...gpusim import CudaRuntime, KernelSpec
+from ...hw import A100_SXM4_40GB, GPUSpec, PCIE_GEN4_X16, PCIeSpec
+from ...network import SlackModel
+from ...trace import CopyKind
+from ..base import AppProfile
+from .lj import LJParams
+from .scaling import LammpsScalingModel
+
+__all__ = ["LammpsProfileConfig", "profile_lammps"]
+
+#: Mixed-precision position upload: x, y, z as float32 (12 B/atom).
+POSITION_BYTES_PER_ATOM = 12
+#: Double-precision force download: fx, fy, fz as float64 (24 B/atom).
+FORCE_BYTES_PER_ATOM = 24
+#: A100 LJ pair-force throughput, seconds per atom-step (approximately
+#: 1e9 atom-steps/s, consistent with published GPU-package numbers).
+PAIR_SECONDS_PER_ATOM = 1.0e-9
+#: Neighbour rebuild cadence in steps (LAMMPS default every ~10-20).
+NEIGHBOR_EVERY = 17
+
+
+@dataclass(frozen=True)
+class LammpsProfileConfig:
+    """Configuration of one traced LAMMPS run."""
+
+    params: LJParams = field(default_factory=lambda: LJParams(box_size=120))
+    processes: int = 8
+    threads: int = 1
+    gpu: GPUSpec = field(default_factory=lambda: A100_SXM4_40GB)
+    pcie: PCIeSpec = field(default_factory=lambda: PCIE_GEN4_X16)
+    jitter: float = 0.10
+    seed: int = 2024
+    neighbor_every: int = NEIGHBOR_EVERY
+
+    def __post_init__(self) -> None:
+        if self.processes <= 0 or self.threads <= 0:
+            raise ValueError("processes and threads must be positive")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.neighbor_every <= 0:
+            raise ValueError("neighbor_every must be positive")
+
+
+def profile_lammps(
+    config: Optional[LammpsProfileConfig] = None,
+    slack: Optional[SlackModel] = None,
+) -> AppProfile:
+    """Run the traced LAMMPS simulation and return its profile."""
+    config = config or LammpsProfileConfig()
+    env = Environment()
+    rt = CudaRuntime(
+        env, gpu=config.gpu, pcie=config.pcie, slack=slack or SlackModel.none()
+    )
+    rng = np.random.default_rng(config.seed)
+    scaling = LammpsScalingModel()
+
+    params = config.params
+    P = config.processes
+    atoms_local = params.atoms_per_process(P)
+    pos_bytes = int(atoms_local * POSITION_BYTES_PER_ATOM)
+    force_bytes = int(atoms_local * FORCE_BYTES_PER_ATOM)
+    neigh_bytes = max(1, int(atoms_local * 0.5))  # bin/half-neigh metadata
+
+    # CPU work per rank per step, from the calibrated scaling model.
+    eff = scaling.thread_efficiency(config.threads)
+    cpu_step = (
+        scaling.cpu_fraction
+        * scaling.work_s(params)
+        / (P * config.threads * eff)
+        / params.steps
+    )
+    comm_step = scaling.comm_s(params, P) / params.steps
+    pair_time = atoms_local * PAIR_SECONDS_PER_ATOM
+
+    def jittered(mean: float) -> float:
+        if config.jitter == 0:
+            return mean
+        sigma = np.sqrt(np.log(1 + config.jitter**2))
+        return float(rng.lognormal(np.log(mean) - sigma**2 / 2, sigma))
+
+    step_barrier = Barrier(env, P)
+
+    def rank(rank_id: int) -> Generator[Event, Any, None]:
+        stream = rt.create_stream()
+        for step in range(params.steps):
+            # CPU-side force prep / previous-step integration.
+            yield env.timeout(jittered(cpu_step) / 2)
+            if step % config.neighbor_every == 0:
+                yield from rt.memcpy(neigh_bytes, CopyKind.H2D, stream, rank_id)
+                yield from rt.launch(
+                    KernelSpec(
+                        name="k_neigh_build",
+                        duration_s=jittered(pair_time * 2.5),
+                    ),
+                    stream,
+                    rank_id,
+                )
+            yield from rt.memcpy(pos_bytes, CopyKind.H2D, stream, rank_id)
+            yield from rt.launch(
+                KernelSpec(
+                    name="k_lj_cut_force", duration_s=jittered(pair_time)
+                ),
+                stream,
+                rank_id,
+            )
+            yield from rt.memcpy(force_bytes, CopyKind.D2H, stream, rank_id)
+            # CPU-side integration + MPI halo exchange (BSP step).
+            yield env.timeout(jittered(cpu_step) / 2 + comm_step)
+            yield step_barrier.wait()
+
+    def main() -> Generator[Event, Any, float]:
+        t0 = env.now
+        ranks = [env.process(rank(r), name=f"mpi-rank-{r}") for r in range(P)]
+        yield env.all_of(ranks)
+        yield from rt.synchronize()
+        return env.now - t0
+
+    main_proc = env.process(main(), name="lammps-main")
+    env.run()
+
+    runtime = float(main_proc.value) + LammpsScalingModel().setup_s
+    trace = rt.tracer.trace
+    api_calls = len(trace.filter(lambda e: e.kind.value == "api"))
+    return AppProfile(
+        name="lammps",
+        trace=trace,
+        runtime_s=runtime,
+        # One kernel launcher per MPI rank (the paper reads 8 from its
+        # traces at this configuration).
+        queue_parallelism=P,
+        cuda_calls_per_second=api_calls / runtime,
+    )

@@ -1,0 +1,64 @@
+"""Composable Disaggregated Infrastructure: pools, composer, schedulers.
+
+Models the resource-management side of the paper: CPU nodes and GPU
+chassis as independent pools, exact-ratio composition, the
+traditional-vs-CDI scheduling comparison of Section V, and the mapping
+from physical placement to the slack a job experiences.
+"""
+
+from .composer import Composer, CompositionError
+from .power import PowerComparison, PowerModel, compare_power
+from .placement import CompositionSlack, PlacementResolver
+from .resources import Composition, CPUNode, GPUChassis, ResourcePool
+from .simulation import (
+    ClusterSpec,
+    JobMetrics,
+    SimJob,
+    SimulationMetrics,
+    compare_throughput,
+    simulate_cdi,
+    simulate_traditional,
+    synthetic_job_mix,
+)
+from .scheduler import (
+    CDIScheduler,
+    JobPlacement,
+    JobRequest,
+    ScheduleOutcome,
+    TraditionalScheduler,
+)
+from .utilization import (
+    SchedulingComparison,
+    compare_schedulers,
+    discussion_example,
+)
+
+__all__ = [
+    "CPUNode",
+    "GPUChassis",
+    "ResourcePool",
+    "Composition",
+    "Composer",
+    "CompositionError",
+    "JobRequest",
+    "JobPlacement",
+    "ScheduleOutcome",
+    "TraditionalScheduler",
+    "CDIScheduler",
+    "PlacementResolver",
+    "CompositionSlack",
+    "SchedulingComparison",
+    "compare_schedulers",
+    "discussion_example",
+    "PowerModel",
+    "PowerComparison",
+    "compare_power",
+    "SimJob",
+    "ClusterSpec",
+    "JobMetrics",
+    "SimulationMetrics",
+    "simulate_traditional",
+    "simulate_cdi",
+    "synthetic_job_mix",
+    "compare_throughput",
+]

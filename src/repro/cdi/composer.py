@@ -1,0 +1,113 @@
+"""The composer: turns resource requests into compositions.
+
+Given "this job needs C cores and G GPUs", the composer carves cores
+from CPU nodes and GPUs from chassis — packing GPUs into as few
+chassis as possible (GPU-to-GPU collectives prefer tight coupling,
+the paper's CosmoFlow argument) and cores into as few nodes as
+possible (NUMA locality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .resources import Composition, GPUChassis, ResourcePool
+
+__all__ = ["CompositionError", "Composer"]
+
+
+class CompositionError(RuntimeError):
+    """Raised when a request cannot be satisfied by the pool."""
+
+
+class Composer:
+    """Allocates compositions from a :class:`ResourcePool`."""
+
+    def __init__(self, pool: ResourcePool) -> None:
+        self.pool = pool
+        self.active: Dict[int, Composition] = {}
+
+    def compose(self, job: str, cores: int, gpus: int = 0) -> Composition:
+        """Compose exactly ``cores`` CPU cores and ``gpus`` GPUs.
+
+        Raises
+        ------
+        CompositionError
+            If the free inventory cannot satisfy the request. The pool
+            is left unchanged on failure (all-or-nothing).
+        """
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        if gpus < 0:
+            raise ValueError("gpus must be non-negative")
+        if cores > self.pool.free_cores:
+            raise CompositionError(
+                f"{job}: requested {cores} cores, {self.pool.free_cores} free"
+            )
+        if gpus > self.pool.free_gpus:
+            raise CompositionError(
+                f"{job}: requested {gpus} GPUs, {self.pool.free_gpus} free"
+            )
+
+        composition = Composition(job=job)
+        # Cores: best-fit decreasing — prefer nodes that can host the
+        # whole remainder, else take the fullest partial fits.
+        remaining = cores
+        for node in sorted(
+            self.pool.nodes.values(), key=lambda n: -n.free_cores
+        ):
+            if remaining == 0:
+                break
+            take = min(node.free_cores, remaining)
+            if take > 0:
+                node.allocate(take)
+                composition.cores[node.node_id] = take
+                remaining -= take
+        if remaining > 0:  # pragma: no cover - guarded by free_cores check
+            self._rollback(composition)
+            raise CompositionError(f"{job}: core allocation fell short")
+
+        # GPUs: pack into the fewest chassis (prefer one that fits all).
+        remaining = gpus
+        chassis_order = self._gpu_packing_order(gpus)
+        for chassis in chassis_order:
+            if remaining == 0:
+                break
+            take = min(chassis.free_gpus, remaining)
+            if take > 0:
+                composition.gpus[chassis.chassis_id] = chassis.allocate(take)
+                remaining -= take
+        if remaining > 0:  # pragma: no cover - guarded by free_gpus check
+            self._rollback(composition)
+            raise CompositionError(f"{job}: GPU allocation fell short")
+
+        self.active[composition.composition_id] = composition
+        return composition
+
+    def release(self, composition: Composition) -> None:
+        """Return a composition's resources to the pool."""
+        if composition.composition_id not in self.active:
+            raise ValueError(f"composition {composition.composition_id} not active")
+        self._rollback(composition)
+        del self.active[composition.composition_id]
+
+    # -- internals ------------------------------------------------------------------
+    def _gpu_packing_order(self, gpus: int) -> List[GPUChassis]:
+        full_fit = [
+            c for c in self.pool.chassis.values() if c.free_gpus >= gpus > 0
+        ]
+        if full_fit:
+            # The tightest chassis that fits everything.
+            rest = [
+                c for c in self.pool.chassis.values() if c not in full_fit
+            ]
+            return sorted(full_fit, key=lambda c: c.free_gpus) + rest
+        return sorted(self.pool.chassis.values(), key=lambda c: -c.free_gpus)
+
+    def _rollback(self, composition: Composition) -> None:
+        for node_id, cores in composition.cores.items():
+            self.pool.nodes[node_id].release(cores)
+        for chassis_id, slots in composition.gpus.items():
+            self.pool.chassis[chassis_id].release(slots)
+        composition.cores.clear()
+        composition.gpus.clear()

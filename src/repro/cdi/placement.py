@@ -1,0 +1,67 @@
+"""Placement-to-slack mapping: where a composition's GPUs physically
+live determines the slack its job experiences.
+
+Joins the :mod:`repro.cdi` composition layer to the
+:mod:`repro.network` fabric: each (host rack, chassis rack) pairing
+resolves to a path and its slack, so a scheduled job can be handed the
+exact :class:`SlackModel` its CUDA calls will see — closing the loop
+back to the proxy/prediction machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..network import Fabric, PathInfo, SlackModel
+from .resources import Composition
+
+__all__ = ["PlacementResolver", "CompositionSlack"]
+
+
+@dataclass(frozen=True)
+class CompositionSlack:
+    """The slack characteristics of one placed composition."""
+
+    composition_id: int
+    paths: Dict[str, PathInfo]  # chassis_id -> path from the host
+    worst_slack_s: float
+    best_slack_s: float
+
+    def worst_case_model(self) -> SlackModel:
+        """A slack model at the composition's worst path (pessimistic)."""
+        return SlackModel(self.worst_slack_s)
+
+
+class PlacementResolver:
+    """Resolves compositions onto a fabric to obtain slack models."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+
+    def resolve(
+        self,
+        composition: Composition,
+        host: str,
+        chassis_racks: Dict[str, int],
+    ) -> CompositionSlack:
+        """Compute per-chassis paths for a composition from ``host``.
+
+        ``chassis_racks`` maps each chassis id used by the composition
+        to the rack its fabric node lives in (``chassis:<rack>``).
+        """
+        if not composition.gpus:
+            raise ValueError("composition has no GPUs to place")
+        paths: Dict[str, PathInfo] = {}
+        for chassis_id in composition.gpus:
+            if chassis_id not in chassis_racks:
+                raise KeyError(f"no rack known for chassis {chassis_id!r}")
+            rack = chassis_racks[chassis_id]
+            paths[chassis_id] = self.fabric.path(host, f"chassis:{rack}")
+        slacks = [p.slack_s for p in paths.values()]
+        return CompositionSlack(
+            composition_id=composition.composition_id,
+            paths=paths,
+            worst_slack_s=max(slacks),
+            best_slack_s=min(slacks),
+        )

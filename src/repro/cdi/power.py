@@ -1,0 +1,70 @@
+"""Power accounting: the trapped-GPU energy argument.
+
+The paper's introduction motivates CDI partly by power: GPUs trapped
+in traditional allocations "can't be turned off or scheduled for other
+jobs", whereas a CDI chassis powers down unallocated devices. This
+module quantifies that for any :class:`ScheduleOutcome` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .scheduler import ScheduleOutcome
+
+__all__ = ["PowerModel", "PowerComparison", "compare_power"]
+
+#: A100-SXM4 board power at idle (clocks parked, HBM refreshed).
+A100_IDLE_W = 55.0
+#: EPYC-class per-core idle draw attributable to an unused core.
+CORE_IDLE_W = 1.5
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Idle-power coefficients for trapped resources."""
+
+    gpu_idle_w: float = A100_IDLE_W
+    core_idle_w: float = CORE_IDLE_W
+
+    def __post_init__(self) -> None:
+        if self.gpu_idle_w < 0 or self.core_idle_w < 0:
+            raise ValueError("idle powers must be non-negative")
+
+    def trapped_power_w(self, outcome: ScheduleOutcome) -> float:
+        """Watts burned by trapped (allocated-but-unused) resources."""
+        return (
+            outcome.trapped_gpus * self.gpu_idle_w
+            + outcome.trapped_cores * self.core_idle_w
+        )
+
+
+@dataclass(frozen=True)
+class PowerComparison:
+    """Trapped-resource power of two scheduling outcomes."""
+
+    traditional_w: float
+    cdi_w: float
+
+    @property
+    def saved_w(self) -> float:
+        """Watts CDI saves by powering down what it does not allocate."""
+        return self.traditional_w - self.cdi_w
+
+    def saved_kwh(self, hours: float) -> float:
+        """Energy saved over a job duration."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        return self.saved_w * hours / 1000.0
+
+
+def compare_power(
+    traditional: ScheduleOutcome,
+    cdi: ScheduleOutcome,
+    model: PowerModel = PowerModel(),
+) -> PowerComparison:
+    """Trapped-power comparison for a pair of scheduling outcomes."""
+    return PowerComparison(
+        traditional_w=model.trapped_power_w(traditional),
+        cdi_w=model.trapped_power_w(cdi),
+    )

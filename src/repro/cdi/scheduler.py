@@ -1,0 +1,168 @@
+"""Traditional vs CDI scheduling (paper Section V's worked example).
+
+Two schedulers over the same physical inventory:
+
+* :class:`TraditionalScheduler` — whole heterogeneous nodes with a
+  fixed CPU:GPU ratio; a job that wants G GPUs takes ceil(G / gpus
+  per node) nodes, *trapping* all cores and GPUs it does not use;
+* :class:`CDIScheduler` — independent core and GPU pools through the
+  :class:`Composer`, so each job gets exactly its requested ratio.
+
+The comparison quantities — trapped cores, trapped (idle-powered)
+GPUs, achieved CPU:GPU ratios — are what the paper's Discussion uses
+to argue CDI's scheduling benefit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .composer import Composer, CompositionError
+from .resources import Composition, ResourcePool
+
+__all__ = [
+    "JobRequest",
+    "JobPlacement",
+    "ScheduleOutcome",
+    "TraditionalScheduler",
+    "CDIScheduler",
+]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job's resource ask: cores and GPUs (its ideal ratio)."""
+
+    name: str
+    cores: int
+    gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.gpus < 0:
+            raise ValueError("gpus must be non-negative")
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """What a scheduler actually granted one job."""
+
+    job: JobRequest
+    granted_cores: int
+    granted_gpus: int
+    trapped_cores: int = 0
+    trapped_gpus: int = 0
+
+    @property
+    def cores_per_gpu(self) -> float:
+        """Achieved CPU:GPU ratio."""
+        if self.granted_gpus == 0:
+            return float("inf")
+        return self.granted_cores / self.granted_gpus
+
+    @property
+    def requested_ratio(self) -> float:
+        """The job's ideal CPU:GPU ratio."""
+        if self.job.gpus == 0:
+            return float("inf")
+        return self.job.cores / self.job.gpus
+
+
+@dataclass
+class ScheduleOutcome:
+    """Aggregate result of scheduling a job list."""
+
+    placements: List[JobPlacement] = field(default_factory=list)
+    rejected: List[JobRequest] = field(default_factory=list)
+
+    @property
+    def trapped_cores(self) -> int:
+        """Cores allocated but unused across all placements."""
+        return sum(p.trapped_cores for p in self.placements)
+
+    @property
+    def trapped_gpus(self) -> int:
+        """GPUs allocated (and burning power) but unused."""
+        return sum(p.trapped_gpus for p in self.placements)
+
+    def placement(self, name: str) -> JobPlacement:
+        """Look up one job's placement by name."""
+        for p in self.placements:
+            if p.job.name == name:
+                return p
+        raise KeyError(name)
+
+
+class TraditionalScheduler:
+    """Whole-node scheduling on fixed heterogeneous nodes."""
+
+    def __init__(
+        self, node_count: int, cores_per_node: int = 48, gpus_per_node: int = 4
+    ) -> None:
+        if node_count <= 0 or cores_per_node <= 0 or gpus_per_node < 0:
+            raise ValueError("invalid node geometry")
+        self.node_count = node_count
+        self.cores_per_node = cores_per_node
+        self.gpus_per_node = gpus_per_node
+        self.free_nodes = node_count
+
+    def schedule(self, jobs: List[JobRequest]) -> ScheduleOutcome:
+        """Allocate whole nodes to each job in order."""
+        outcome = ScheduleOutcome()
+        for job in jobs:
+            nodes_for_gpus = (
+                math.ceil(job.gpus / self.gpus_per_node)
+                if self.gpus_per_node and job.gpus
+                else 0
+            )
+            nodes_for_cores = math.ceil(job.cores / self.cores_per_node)
+            need = max(1, nodes_for_gpus, nodes_for_cores)
+            if need > self.free_nodes:
+                outcome.rejected.append(job)
+                continue
+            self.free_nodes -= need
+            granted_cores = need * self.cores_per_node
+            granted_gpus = need * self.gpus_per_node
+            outcome.placements.append(
+                JobPlacement(
+                    job=job,
+                    granted_cores=granted_cores,
+                    granted_gpus=granted_gpus,
+                    trapped_cores=max(0, granted_cores - job.cores),
+                    trapped_gpus=max(0, granted_gpus - job.gpus),
+                )
+            )
+        return outcome
+
+
+class CDIScheduler:
+    """Exact-ratio scheduling through a composer over pooled resources."""
+
+    def __init__(self, pool: ResourcePool) -> None:
+        self.pool = pool
+        self.composer = Composer(pool)
+        self.compositions: Dict[str, Composition] = {}
+
+    def schedule(self, jobs: List[JobRequest]) -> ScheduleOutcome:
+        """Compose each job's exact request; nothing is trapped."""
+        outcome = ScheduleOutcome()
+        for job in jobs:
+            try:
+                comp = self.composer.compose(job.name, job.cores, job.gpus)
+            except CompositionError:
+                outcome.rejected.append(job)
+                continue
+            self.compositions[job.name] = comp
+            outcome.placements.append(
+                JobPlacement(
+                    job=job,
+                    granted_cores=comp.total_cores,
+                    granted_gpus=comp.total_gpus,
+                    trapped_cores=0,
+                    trapped_gpus=0,
+                )
+            )
+        return outcome

@@ -1,0 +1,231 @@
+"""Command-line interface: ``rowscale-cdi`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show the available experiments (one per paper artifact
+  plus the ``ext_*`` prose-claim extensions);
+* ``run <id> [...]`` — regenerate one or more tables/figures
+  (``--chart`` adds ASCII line charts, ``--output`` writes Markdown);
+* ``all`` — regenerate everything;
+* ``slack <seconds>`` — quick slack-to-distance conversion;
+* ``profile {lammps,cosmoflow}`` — trace an application model and
+  predict its slack penalty (optionally exporting the trace);
+* ``sweep`` — measure a slack response surface on a custom grid.
+
+``--full`` switches from the quick configuration (short runs, fixed
+proxy iterations) to the paper's full run lengths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import (
+    ExperimentContext,
+    experiment_ids,
+    run_experiment,
+)
+from .network import fibre_distance_for_latency
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rowscale-cdi",
+        description=(
+            "Reproduction of 'Examining the Viability of Row-Scale "
+            "Disaggregation for Production Applications' (SC 2024)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument("experiments", nargs="+", metavar="ID",
+                       help="experiment ids (see 'list')")
+    run_p.add_argument("--full", action="store_true",
+                       help="use the paper's full run lengths")
+    run_p.add_argument("--output", metavar="PATH",
+                       help="also write results as a Markdown report")
+    run_p.add_argument("--chart", action="store_true",
+                       help="render figure series as ASCII charts")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--full", action="store_true",
+                       help="use the paper's full run lengths")
+    all_p.add_argument("--output", metavar="PATH",
+                       help="also write results as a Markdown report")
+
+    slack_p = sub.add_parser("slack", help="slack <-> fibre distance")
+    slack_p.add_argument("seconds", type=float, help="one-way slack in seconds")
+
+    prof_p = sub.add_parser(
+        "profile", help="trace an application and predict its slack penalty"
+    )
+    prof_p.add_argument("app", choices=["lammps", "cosmoflow"],
+                        help="application model to profile")
+    prof_p.add_argument("--slack", type=float, action="append",
+                        metavar="SECONDS", dest="slacks",
+                        help="slack value(s) to predict at "
+                             "(default: the paper's grid)")
+    prof_p.add_argument("--trace-out", metavar="PATH",
+                        help="export the trace as JSON to PATH")
+    prof_p.add_argument("--full", action="store_true",
+                        help="use the paper's full run lengths")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="measure a slack response surface on a custom grid"
+    )
+    sweep_p.add_argument("--matrix", type=int, action="append",
+                         dest="matrix_sizes", metavar="N",
+                         help="matrix size(s) (default: the paper's grid)")
+    sweep_p.add_argument("--slack", type=float, action="append",
+                         dest="slacks", metavar="SECONDS",
+                         help="slack value(s) (default: the paper's grid)")
+    sweep_p.add_argument("--threads", type=int, action="append",
+                         dest="threads", metavar="T",
+                         help="thread count(s) (default: 1)")
+    sweep_p.add_argument("--iterations", type=int, default=25,
+                         help="loop iterations per point (default 25; "
+                              "0 = auto-calibrate like the paper)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for eid in experiment_ids():
+            print(eid)
+        return 0
+
+    if args.command == "slack":
+        if args.seconds < 0:
+            print("slack must be non-negative", file=sys.stderr)
+            return 2
+        km = fibre_distance_for_latency(args.seconds) / 1e3
+        print(
+            f"{args.seconds:g} s of one-way slack = {km:.3f} km of fibre "
+            f"at light speed"
+        )
+        return 0
+
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+
+    ctx = ExperimentContext(quick=not args.full)
+    if args.command == "all":
+        targets = experiment_ids()
+    else:
+        targets = args.experiments
+        unknown = [t for t in targets if t not in experiment_ids()]
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"available: {', '.join(experiment_ids())}", file=sys.stderr)
+            return 2
+
+    results = []
+    for eid in targets:
+        t0 = time.time()
+        result = run_experiment(eid, ctx)
+        results.append(result)
+        print(result.render())
+        if getattr(args, "chart", False):
+            for series in result.series:
+                print()
+                print(series.ascii_chart(log_y=any(
+                    y is not None and y > 10
+                    for ys in series.lines.values() for y in ys
+                )))
+        print(f"[{eid}: {time.time() - t0:.1f}s]\n")
+    if getattr(args, "output", None):
+        from .experiments import write_markdown_report
+
+        path = write_markdown_report(results, args.output)
+        print(f"markdown report written to {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Trace one application model and predict its slack penalty."""
+    from .model import CDIProfiler
+    from .proxy import PAPER_SLACK_VALUES_S
+    from .trace import to_json
+
+    ctx = ExperimentContext(quick=not args.full)
+    profile = (
+        ctx.lammps_profile() if args.app == "lammps"
+        else ctx.cosmoflow_profile()
+    )
+    kernels = profile.trace.kernels()
+    copies = profile.trace.memcpys()
+    print(f"{profile.name}: {len(kernels)} kernels, {len(copies)} memcpys, "
+          f"runtime {profile.runtime_s:.1f} s, "
+          f"queue parallelism {profile.queue_parallelism}")
+
+    if args.trace_out:
+        to_json(profile.trace, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+
+    profiler = CDIProfiler(ctx.surface())
+    slacks = args.slacks or list(PAPER_SLACK_VALUES_S)
+    print(f"{'slack [us]':>12}  {'lower [%]':>10}  {'upper [%]':>10}")
+    for slack in sorted(slacks):
+        if slack < 0:
+            print("slack must be non-negative", file=sys.stderr)
+            return 2
+        p = profiler.predict(profile, slack)
+        print(f"{slack * 1e6:12.1f}  {p.lower_percent:10.4f}  "
+              f"{p.upper_percent:10.4f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a custom proxy sweep and print the surface."""
+    from .proxy import (
+        PAPER_MATRIX_SIZES,
+        PAPER_SLACK_VALUES_S,
+        SlackResponseSurface,
+        run_slack_sweep,
+    )
+
+    matrix_sizes = args.matrix_sizes or list(PAPER_MATRIX_SIZES)
+    slacks = sorted(args.slacks or PAPER_SLACK_VALUES_S)
+    threads = args.threads or [1]
+    iterations = args.iterations if args.iterations > 0 else None
+    sweep = run_slack_sweep(
+        matrix_sizes=matrix_sizes,
+        slack_values_s=slacks,
+        threads=threads,
+        iterations=iterations,
+    )
+    for n, t, reason in sweep.skipped:
+        print(f"skipped matrix {n} x {t} threads: {reason}", file=sys.stderr)
+    if not sweep.points:
+        print("no measurable configurations", file=sys.stderr)
+        return 1
+    surface = SlackResponseSurface(sweep)
+    for t in surface.thread_counts():
+        print(f"--- {t} thread(s): normalized corrected runtime ---")
+        print("matrix".ljust(10) + "".join(f"{s * 1e6:>12.0f}us" for s in slacks))
+        for n in surface.matrix_sizes(t):
+            row = f"{n:<10d}"
+            for s in slacks:
+                row += f"{1.0 + surface.penalty(n, s, t):>14.4f}"
+            print(row)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Discrete-event simulation kernel underpinning the CDI reproduction.
+
+A compact process-based DES engine (SimPy-style): generators yield
+events, an :class:`Environment` pops them off a heap in time order.
+Everything above this layer — PCIe links, NICs, GPU engines, the slack
+injector — is expressed as processes and resources from this package.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    NORMAL,
+    PENDING,
+    Process,
+    Timeout,
+    URGENT,
+)
+from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from .monitor import IntervalRecord, TimeSeriesMonitor, UtilizationTracker
+from .resources import (
+    Barrier,
+    Container,
+    FilterStore,
+    Preempted,
+    PreemptiveRequest,
+    PreemptiveResource,
+    PriorityRequest,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+    "NORMAL",
+    "URGENT",
+    "SimulationError",
+    "StopSimulation",
+    "EmptySchedule",
+    "Interrupt",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "PriorityRequest",
+    "Release",
+    "Preempted",
+    "PreemptiveResource",
+    "PreemptiveRequest",
+    "Container",
+    "Store",
+    "Barrier",
+    "FilterStore",
+    "TimeSeriesMonitor",
+    "UtilizationTracker",
+    "IntervalRecord",
+]

@@ -1,0 +1,60 @@
+"""Exception types raised by the discrete-event simulation kernel.
+
+The kernel distinguishes three failure modes: a process being
+interrupted from outside (:class:`Interrupt`), the simulation being
+stopped deliberately (:class:`StopSimulation`), and programming errors
+in how events are used (:class:`SimulationError`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "SimulationError",
+    "StopSimulation",
+    "Interrupt",
+    "EmptySchedule",
+]
+
+
+class SimulationError(Exception):
+    """Base class for misuse of the simulation kernel.
+
+    Raised, for example, when an event is triggered twice or a process
+    yields something that is not an event.
+    """
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early.
+
+    Carries the value the simulation run should return.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened. It is
+        available as :attr:`cause` in the interrupted process.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,167 @@
+"""Instrumentation helpers for DES simulations.
+
+The paper's analysis hinges on time-series quantities (GPU busy/idle
+intervals, queue depth over time). :class:`TimeSeriesMonitor` records
+(time, value) pairs, and :class:`UtilizationTracker` turns busy/idle
+transitions into aggregate utilization and exposed-idle statistics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .core import Environment
+
+__all__ = ["TimeSeriesMonitor", "UtilizationTracker", "IntervalRecord"]
+
+
+class TimeSeriesMonitor:
+    """Record a piecewise-constant time series of values.
+
+    Values are sampled on change: each ``record`` call appends
+    ``(env.now, value)``. The time-weighted mean treats the series as a
+    step function held constant until the next sample.
+    """
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Append the current value at the current simulated time."""
+        self.times.append(self.env.now)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, t: float) -> float:
+        """Step-function lookup of the value at time ``t``."""
+        if not self.times:
+            raise ValueError("monitor is empty")
+        idx = bisect_right(self.times, t) - 1
+        if idx < 0:
+            raise ValueError(f"t={t} precedes the first sample {self.times[0]}")
+        return self.values[idx]
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean of the step function from the first sample to ``until``."""
+        if not self.times:
+            raise ValueError("monitor is empty")
+        end = self.env.now if until is None else until
+        times = np.asarray(self.times + [end])
+        values = np.asarray(self.values)
+        widths = np.diff(times)
+        total = times[-1] - times[0]
+        if total <= 0:
+            return float(values[-1])
+        return float(np.dot(widths, values) / total)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` as NumPy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+@dataclass
+class IntervalRecord:
+    """A closed busy or idle interval observed on a tracked device."""
+
+    start: float
+    end: float
+    busy: bool
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval."""
+        return self.end - self.start
+
+
+@dataclass
+class UtilizationTracker:
+    """Track busy/idle transitions of a device (e.g. a GPU engine).
+
+    Engines call :meth:`set_busy` / :meth:`set_idle`; the tracker
+    accumulates closed intervals and answers utilization queries. The
+    *exposed idle* statistics (idle gaps between work) are exactly the
+    quantity slack uncovers in the paper's starvation analysis.
+    """
+
+    env: Environment
+    name: str = ""
+    intervals: list[IntervalRecord] = field(default_factory=list)
+    _busy: bool = False
+    _since: float = 0.0
+    _started: bool = False
+
+    def set_busy(self) -> None:
+        """Mark the device busy from now on (no-op if already busy)."""
+        self._transition(True)
+
+    def set_idle(self) -> None:
+        """Mark the device idle from now on (no-op if already idle)."""
+        self._transition(False)
+
+    def _transition(self, busy: bool) -> None:
+        now = self.env.now
+        if not self._started:
+            self._started = True
+            self._busy = busy
+            self._since = now
+            return
+        if busy == self._busy:
+            return
+        if now > self._since:
+            self.intervals.append(IntervalRecord(self._since, now, self._busy))
+        self._busy = busy
+        self._since = now
+
+    def finish(self) -> None:
+        """Close the currently open interval at the present time."""
+        if self._started and self.env.now > self._since:
+            self.intervals.append(
+                IntervalRecord(self._since, self.env.now, self._busy)
+            )
+            self._since = self.env.now
+
+    @property
+    def busy_time(self) -> float:
+        """Total closed busy time."""
+        return sum(r.duration for r in self.intervals if r.busy)
+
+    @property
+    def idle_time(self) -> float:
+        """Total closed idle time."""
+        return sum(r.duration for r in self.intervals if not r.busy)
+
+    def utilization(self) -> float:
+        """Busy fraction over all closed intervals (0 if none)."""
+        total = self.busy_time + self.idle_time
+        if total <= 0:
+            return 0.0
+        return self.busy_time / total
+
+    def idle_gaps(self) -> np.ndarray:
+        """Durations of idle intervals that sit *between* busy ones.
+
+        Leading idle (before first work) and trailing idle are
+        excluded: only gaps where the device was starved mid-run count.
+        """
+        gaps: list[float] = []
+        seen_busy = False
+        pending: Optional[float] = None
+        for rec in self.intervals:
+            if rec.busy:
+                if seen_busy and pending is not None:
+                    gaps.append(pending)
+                seen_busy = True
+                pending = None
+            else:
+                if seen_busy:
+                    pending = rec.duration if pending is None else pending + rec.duration
+        return np.asarray(gaps)

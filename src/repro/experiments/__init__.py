@@ -1,0 +1,24 @@
+"""Per-table/figure experiment runners (see DESIGN.md's index).
+
+Every table and figure of the paper's evaluation has a runner here;
+``run_experiment(id)`` regenerates its rows/series from the simulator.
+"""
+
+from .context import ExperimentContext, default_cache_dir
+from .export import results_to_markdown, write_markdown_report
+from .report import ExperimentResult, Series, Table
+from .runner import EXPERIMENTS, experiment_ids, run_all, run_experiment
+
+__all__ = [
+    "ExperimentContext",
+    "default_cache_dir",
+    "ExperimentResult",
+    "Table",
+    "Series",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "run_all",
+    "results_to_markdown",
+    "write_markdown_report",
+]

@@ -1,0 +1,129 @@
+"""Shared experiment context: cached proxy surface and app profiles.
+
+The Table IV / validation experiments all need the proxy's slack
+response surface and the two application profiles — the expensive
+artifacts of the reproduction. :class:`ExperimentContext` builds them
+once per configuration and caches the surface on disk (JSON) so
+repeated benchmark runs don't re-sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..apps import (
+    CosmoFlowProfileConfig,
+    LammpsProfileConfig,
+    profile_cosmoflow,
+    profile_lammps,
+)
+from ..apps.base import AppProfile
+from ..apps.lammps import LJParams
+from ..proxy import (
+    PAPER_MATRIX_SIZES,
+    PAPER_SLACK_VALUES_S,
+    PAPER_THREAD_COUNTS,
+    SlackResponseSurface,
+    run_slack_sweep,
+)
+
+__all__ = ["ExperimentContext", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Where cached surfaces live (repo-local, git-ignorable)."""
+    return Path(__file__).resolve().parents[3] / ".cache"
+
+
+@dataclass
+class ExperimentContext:
+    """Configuration + lazily built shared artifacts.
+
+    ``quick`` trades fidelity for speed: fixed 25-iteration proxy
+    runs and shortened application profiling runs. The full mode uses
+    the paper's auto-calibrated iteration counts and run lengths.
+    """
+
+    quick: bool = True
+    cache_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        self._surface: Optional[SlackResponseSurface] = None
+        self._profiles: Dict[str, AppProfile] = {}
+
+    # -- proxy surface -----------------------------------------------------------
+    @property
+    def sweep_iterations(self) -> Optional[int]:
+        """Fixed iteration count in quick mode, auto-calibrated in full."""
+        return 25 if self.quick else None
+
+    def surface(self) -> SlackResponseSurface:
+        """The proxy slack response surface (disk-cached)."""
+        if self._surface is not None:
+            return self._surface
+        cache = self._surface_cache_path()
+        if cache is not None and cache.exists():
+            self._surface = SlackResponseSurface.from_json(cache)
+            return self._surface
+        sweep = run_slack_sweep(
+            matrix_sizes=PAPER_MATRIX_SIZES,
+            slack_values_s=PAPER_SLACK_VALUES_S,
+            threads=PAPER_THREAD_COUNTS,
+            iterations=self.sweep_iterations,
+        )
+        self._surface = SlackResponseSurface(sweep)
+        if cache is not None:
+            cache.parent.mkdir(parents=True, exist_ok=True)
+            self._surface.to_json(cache)
+        return self._surface
+
+    def _surface_cache_path(self) -> Optional[Path]:
+        base = self.cache_dir if self.cache_dir is not None else default_cache_dir()
+        key = json.dumps(
+            {
+                "matrix_sizes": PAPER_MATRIX_SIZES,
+                "slacks": PAPER_SLACK_VALUES_S,
+                "threads": PAPER_THREAD_COUNTS,
+                "iterations": self.sweep_iterations,
+                "version": 1,
+            },
+            sort_keys=True,
+        )
+        digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+        return base / f"surface-{digest}.json"
+
+    # -- application profiles ------------------------------------------------------
+    def lammps_config(self) -> LammpsProfileConfig:
+        """The LAMMPS profiling configuration (box 120, 8 ranks)."""
+        steps = 500 if self.quick else 5000
+        return LammpsProfileConfig(params=LJParams(120, steps=steps))
+
+    def cosmoflow_config(self) -> CosmoFlowProfileConfig:
+        """The CosmoFlow profiling configuration (mini dataset, batch 4)."""
+        if self.quick:
+            return CosmoFlowProfileConfig(
+                epochs=1, train_samples=256, val_samples=256
+            )
+        return CosmoFlowProfileConfig()
+
+    def lammps_profile(self) -> AppProfile:
+        """Traced LAMMPS profile (memoized)."""
+        if "lammps" not in self._profiles:
+            self._profiles["lammps"] = profile_lammps(self.lammps_config())
+        return self._profiles["lammps"]
+
+    def cosmoflow_profile(self) -> AppProfile:
+        """Traced CosmoFlow profile (memoized)."""
+        if "cosmoflow" not in self._profiles:
+            self._profiles["cosmoflow"] = profile_cosmoflow(
+                self.cosmoflow_config()
+            )
+        return self._profiles["cosmoflow"]
+
+    def profiles(self) -> Tuple[AppProfile, AppProfile]:
+        """Both application profiles."""
+        return self.lammps_profile(), self.cosmoflow_profile()

@@ -1,0 +1,75 @@
+"""Export experiment results to Markdown.
+
+Turns :class:`ExperimentResult` artifacts into the GitHub-flavoured
+tables EXPERIMENTS.md is built from, so a full reproduction run can
+regenerate its own report (``rowscale-cdi all --output report.md``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .report import ExperimentResult, Series, Table, fmt
+
+__all__ = ["table_to_markdown", "series_to_markdown", "results_to_markdown",
+           "write_markdown_report"]
+
+
+def table_to_markdown(table: Table) -> str:
+    """One table as a GFM pipe table with its notes."""
+    lines = [f"**{table.title}**", ""]
+    lines.append("| " + " | ".join(table.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def series_to_markdown(series: Series) -> str:
+    """One figure's data as a GFM pipe table (series x x-values)."""
+    lines = [f"**{series.title}**", "",
+             f"*x = {series.x_label}; y = {series.y_label}*", ""]
+    lines.append("| series | " + " | ".join(fmt(x) for x in series.x) + " |")
+    lines.append("|" + "|".join("---" for _ in range(len(series.x) + 1)) + "|")
+    for label, ys in series.lines.items():
+        cells = [fmt(y) if y is not None else "–" for y in ys]
+        lines.append(f"| {label} | " + " | ".join(cells) + " |")
+    for note in series.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def results_to_markdown(
+    results: Iterable[ExperimentResult], title: str = "Reproduction report"
+) -> str:
+    """A full Markdown report over many experiment results."""
+    parts: List[str] = [f"# {title}", ""]
+    for result in results:
+        parts.append(f"## {result.experiment_id}")
+        parts.append("")
+        for table in result.tables:
+            parts.append(table_to_markdown(table))
+            parts.append("")
+        for series in result.series:
+            parts.append(series_to_markdown(series))
+            parts.append("")
+        for note in result.notes:
+            parts.append(f"> **NOTE:** {note}")
+            parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def write_markdown_report(
+    results: Iterable[ExperimentResult],
+    path: Union[str, Path],
+    title: str = "Reproduction report",
+) -> Path:
+    """Write the Markdown report to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(results_to_markdown(results, title=title))
+    return path

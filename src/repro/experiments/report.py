@@ -1,0 +1,183 @@
+"""Report primitives: tables and series the experiments emit.
+
+Each experiment reproduces one paper artifact as a :class:`Table`
+(rows/columns) or a :class:`Series` (a figure's line data), plus
+free-text notes recording paper-vs-measured deltas. ``render()``
+produces the monospace form printed by the CLI and captured in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["Table", "Series", "ExperimentResult", "fmt"]
+
+
+def fmt(value: Any, precision: int = 4) -> str:
+    """Format one cell: floats compactly, everything else via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A paper-style table: headers plus rows of cells."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row (must match the header count)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> List[Any]:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Monospace rendering with aligned columns."""
+        cells = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in cells))
+            if cells
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A figure's data: shared x values and one y-list per label."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x: List[float] = field(default_factory=list)
+    lines: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_line(self, label: str, ys: Sequence[Optional[float]]) -> None:
+        """Add one labelled line (length must match x)."""
+        ys = list(ys)
+        if len(ys) != len(self.x):
+            raise ValueError(
+                f"line {label!r} has {len(ys)} points, x has {len(self.x)}"
+            )
+        self.lines[label] = ys
+
+    def render(self) -> str:
+        """Monospace rendering: one column per x, one row per line."""
+        lines = [self.title, f"x = {self.x_label}; y = {self.y_label}"]
+        header = ["series"] + [fmt(v) for v in self.x]
+        rows = [
+            [label] + [fmt(y) if y is not None else "-" for y in ys]
+            for label, ys in self.lines.items()
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def ascii_chart(self, height: int = 12, log_y: bool = False) -> str:
+        """A terminal line chart of the series (one glyph per line).
+
+        Each series gets a letter (a, b, c ...); points landing on the
+        same cell show the later series' letter. ``log_y`` plots
+        log10(y), the natural scale for the slack-penalty figures.
+        """
+        import math
+
+        if height < 3:
+            raise ValueError("height must be >= 3")
+        if not self.lines:
+            raise ValueError("series has no lines to chart")
+        values = [
+            (math.log10(y) if log_y else y)
+            for ys in self.lines.values()
+            for y in ys
+            if y is not None and (not log_y or y > 0)
+        ]
+        if not values:
+            raise ValueError("no plottable values")
+        lo, hi = min(values), max(values)
+        span = (hi - lo) or 1.0
+        width = len(self.x)
+        grid = [[" "] * width for _ in range(height)]
+        glyphs = "abcdefghijklmnopqrstuvwxyz"
+        legend = []
+        for idx, (label, ys) in enumerate(self.lines.items()):
+            glyph = glyphs[idx % len(glyphs)]
+            legend.append(f"{glyph}={label}")
+            for col, y in enumerate(ys):
+                if y is None or (log_y and y <= 0):
+                    continue
+                v = math.log10(y) if log_y else y
+                row = int(round((v - lo) / span * (height - 1)))
+                grid[height - 1 - row][col] = glyph
+        axis_hi = fmt(10**hi if log_y else hi)
+        axis_lo = fmt(10**lo if log_y else lo)
+        label_w = max(len(axis_hi), len(axis_lo))
+        out = [self.title]
+        for i, row in enumerate(grid):
+            prefix = axis_hi if i == 0 else axis_lo if i == height - 1 else ""
+            out.append(f"{prefix:>{label_w}} |" + " ".join(row))
+        out.append(" " * label_w + " +" + "-" * (2 * width - 1))
+        out.append(" " * label_w + "  " +
+                   " ".join(fmt(v)[0] for v in self.x))
+        out.append(f"x: {', '.join(fmt(v) for v in self.x)}")
+        out.append("   ".join(legend))
+        return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    tables: List[Table] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render all artifacts of the experiment."""
+        parts = [f"=== {self.experiment_id} ==="]
+        for t in self.tables:
+            parts.append(t.render())
+        for s in self.series:
+            parts.append(s.render())
+        for note in self.notes:
+            parts.append(f"NOTE: {note}")
+        return "\n\n".join(parts)

@@ -1,0 +1,82 @@
+"""Experiment registry and runner.
+
+Maps each paper artifact (table/figure id) to its reproduction
+function; the CLI and the benchmark harness both dispatch through
+:func:`run_experiment`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .context import ExperimentContext
+from .report import ExperimentResult
+from . import (
+    cosmoflow_cpu,
+    discussion,
+    extensions,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    omp_scaling,
+    table1,
+    table2,
+    table3,
+    table4,
+    validation,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
+
+#: Registry: experiment id -> runner(ctx) -> ExperimentResult.
+EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentContext]], ExperimentResult]] = {
+    "table1": table1.run,
+    "figure2": figure2.run,
+    "omp_scaling": omp_scaling.run,
+    "cosmoflow_cpu": cosmoflow_cpu.run,
+    "table2": table2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "validation": validation.run,
+    "figure1": figure1.run,
+    "discussion": discussion.run,
+    # Extensions: claims the paper makes in prose, quantified.
+    "ext_collectives": extensions.run_collectives,
+    "ext_congestion": extensions.run_congestion,
+    "ext_preload": extensions.run_preload,
+    "ext_power": extensions.run_power,
+    "ext_remoting": extensions.run_remoting,
+    "ext_sensitivity": extensions.run_sensitivity,
+    "ext_graphs": extensions.run_graphs,
+    "ext_throughput": extensions.run_throughput,
+    "ext_weak_scaling": extensions.run_weak_scaling,
+    "ext_resilience": extensions.run_resilience,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, ctx: Optional[ExperimentContext] = None
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](ctx)
+
+
+def run_all(ctx: Optional[ExperimentContext] = None) -> List[ExperimentResult]:
+    """Run every experiment, sharing one context (and its caches)."""
+    ctx = ctx or ExperimentContext()
+    return [run_experiment(eid, ctx) for eid in EXPERIMENTS]

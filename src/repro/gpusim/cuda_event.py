@@ -1,0 +1,61 @@
+"""CUDA events: in-stream timestamps for device-side timing.
+
+The paper's proxy uses "GPU-side control for timing" — it brackets the
+compute loop with CUDA events rather than host clocks (and verifies
+the two agree). :class:`CudaEvent` records a timestamp when the stream
+reaches it; :func:`elapsed_time` mirrors ``cudaEventElapsedTime``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..des import Environment, Event
+from .stream import MarkerOp, Stream
+
+__all__ = ["CudaEvent", "elapsed_time"]
+
+
+class CudaEvent:
+    """A recordable device timestamp (cudaEvent_t analogue)."""
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._timestamp: Optional[float] = None
+        self._completion: Optional[Event] = None
+
+    @property
+    def recorded(self) -> bool:
+        """Whether the device has reached the event's marker."""
+        return self._timestamp is not None
+
+    @property
+    def timestamp(self) -> float:
+        """The device time at which the marker retired."""
+        if self._timestamp is None:
+            raise RuntimeError(f"CUDA event {self.name!r} has not been recorded")
+        return self._timestamp
+
+    def record(self, stream: Stream, thread: int = 0) -> Generator[Event, Any, None]:
+        """Enqueue the marker on ``stream`` (host-side, returns fast)."""
+        completion = self.env.event()
+        op = MarkerOp(completion=completion, thread=thread)
+        self._completion = completion
+        completion.callbacks.append(self._on_complete)
+        yield stream.submit(op)
+
+    def _on_complete(self, event: Event) -> None:
+        self._timestamp = self.env.now
+
+    def synchronize(self) -> Generator[Event, Any, None]:
+        """Host-side wait until the marker has retired."""
+        if self._completion is None:
+            raise RuntimeError(f"CUDA event {self.name!r} was never recorded")
+        if not self.recorded:
+            yield self._completion
+
+
+def elapsed_time(start: CudaEvent, end: CudaEvent) -> float:
+    """Seconds of device time between two recorded events."""
+    return end.timestamp - start.timestamp

@@ -1,0 +1,80 @@
+"""Slack injection at the CUDA API boundary.
+
+The paper's method inserts an artificial delay *after every CUDA API
+call* that implies host-device communication, emulating the NIC and
+fabric traversal a row-scale CDI system adds (their software
+alternative to LD_PRELOAD shims, which fail for statically linked
+binaries). :class:`SlackInjector` is that insertion point in the
+simulator: the runtime yields through it after each API call, and the
+delay is recorded in the trace so Equation 1 can later subtract the
+direct cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..des import Environment, Event
+from ..network import SlackModel
+from ..trace import EventKind, Tracer
+
+__all__ = ["SlackInjector"]
+
+
+class SlackInjector:
+    """Injects the per-call slack delay and accounts for it.
+
+    Parameters
+    ----------
+    env, tracer:
+        Simulation environment and the tracer slack events go to.
+    model:
+        The :class:`SlackModel` supplying per-call delays. Replaceable
+        at runtime (sweeps re-use one simulator setup).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        tracer: Tracer,
+        model: Optional[SlackModel] = None,
+    ) -> None:
+        self.env = env
+        self.tracer = tracer
+        self.model = model or SlackModel.none()
+        self.calls_intercepted = 0
+
+    @property
+    def total_injected_s(self) -> float:
+        """Total delay injected so far (for Equation 1)."""
+        return self.model.total_injected_s
+
+    @property
+    def calls_delayed(self) -> int:
+        """Number of calls that received a delay."""
+        return self.model.calls_delayed
+
+    def after_call(
+        self, api_name: str, thread: int = 0
+    ) -> Generator[Event, Any, float]:
+        """Sleep the calling host thread for one sampled slack delay.
+
+        Returns the injected delay so callers can account per-call.
+        """
+        self.calls_intercepted += 1
+        if self.model.is_zero:
+            return 0.0
+        delay = self.model.sample()
+        if delay <= 0.0:
+            return 0.0
+        start = self.env.now
+        yield self.env.timeout(delay)
+        self.tracer.record(
+            EventKind.SLACK,
+            f"slack:{api_name}",
+            start,
+            self.env.now,
+            thread=thread,
+            meta={"api": api_name},
+        )
+        return delay

@@ -1,0 +1,288 @@
+"""The simulated CUDA runtime: the host-facing API of one GPU.
+
+:class:`CudaRuntime` reproduces the host-device contract the paper's
+proxy exercises: ``malloc``/``free`` on a 40 GiB device memory,
+synchronous and asynchronous ``memcpy`` over a PCIe-modelled link,
+kernel ``launch`` with driver overhead, per-stream ordering, and
+``synchronize``. Every host-visible API call routes through the
+:class:`SlackInjector`, which is the CDI emulation point.
+
+All API methods are generator functions to be driven from a DES
+process with ``yield from``::
+
+    def host(env, rt):
+        a = rt.malloc(nbytes)
+        yield from rt.memcpy(nbytes, CopyKind.H2D)
+        yield from rt.launch(matmul_kernel(4096))
+        yield from rt.memcpy(nbytes, CopyKind.D2H)
+        yield from rt.synchronize()
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, Optional
+
+from ..des import Environment, Event
+from ..hw import (
+    A100_SXM4_40GB,
+    DeviceAllocation,
+    DeviceMemory,
+    GPUSpec,
+    PCIE_GEN4_X16,
+    PCIeSpec,
+)
+from ..network import SlackModel
+from ..trace import CopyKind, EventKind, Tracer
+from .engines import ComputeEngine, CopyEngine, DeviceActivity, OccupancyComputeEngine
+from .interception import SlackInjector
+from .kernels import KernelSpec
+from .stream import CopyOp, KernelOp, Stream
+
+__all__ = ["CudaRuntime"]
+
+
+class CudaRuntime:
+    """One simulated GPU and its host-side CUDA-like API.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    gpu:
+        Device characteristics (default A100-SXM4-40GB).
+    pcie:
+        The host link (default PCIe Gen4 x16); its latency and
+        bandwidth set memcpy transfer times.
+    tracer:
+        Destination for kernel/memcpy/slack trace events; a fresh
+        tracer is created if omitted.
+    slack:
+        The CDI slack model; default none (traditional in-node GPU).
+    api_overhead_s:
+        Host driver cost of a memcpy/sync API call.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        gpu: GPUSpec = A100_SXM4_40GB,
+        pcie: PCIeSpec = PCIE_GEN4_X16,
+        tracer: Optional[Tracer] = None,
+        slack: Optional[SlackModel] = None,
+        api_overhead_s: float = 1.5e-6,
+        concurrent_kernels: bool = False,
+    ) -> None:
+        if api_overhead_s < 0:
+            raise ValueError("api_overhead_s must be non-negative")
+        self.env = env
+        self.gpu = gpu
+        self.pcie = pcie
+        self.tracer = tracer or Tracer(env, name="gpu0")
+        self.memory = DeviceMemory(gpu.memory_bytes)
+        self.api_overhead_s = api_overhead_s
+
+        self.activity = DeviceActivity()
+        # concurrent_kernels switches the compute unit to SM-occupancy
+        # co-scheduling: small kernels from different streams share the
+        # device (the default serializes, matching one saturating
+        # kernel at a time — the proxy's matmul regime).
+        self.compute = (
+            OccupancyComputeEngine(env, gpu, self.activity)
+            if concurrent_kernels
+            else ComputeEngine(env, gpu, self.activity)
+        )
+        self.copy_h2d = CopyEngine(env, "copy-h2d", self.activity)
+        self.copy_d2h = CopyEngine(env, "copy-d2h", self.activity)
+
+        self.injector = SlackInjector(env, self.tracer, slack)
+
+        self._stream_ids = itertools.count(0)
+        self._streams: Dict[int, Stream] = {}
+        self.default_stream = self.create_stream()
+
+        self.api_calls = 0
+
+    # -- configuration -----------------------------------------------------------
+    @property
+    def slack(self) -> SlackModel:
+        """The active slack model."""
+        return self.injector.model
+
+    def set_slack(self, model: SlackModel) -> None:
+        """Swap the slack model (used by sweeps)."""
+        self.injector.model = model
+
+    def create_stream(self) -> Stream:
+        """Create a new stream (cudaStreamCreate)."""
+        sid = next(self._stream_ids)
+        stream = Stream(
+            self.env,
+            sid,
+            self.compute,
+            self.copy_h2d,
+            self.copy_d2h,
+            self.tracer,
+            gpu_execution_time=lambda k: k.execution_time(self.gpu),
+        )
+        self._streams[sid] = stream
+        return stream
+
+    @property
+    def streams(self) -> Dict[int, Stream]:
+        """All created streams by id."""
+        return dict(self._streams)
+
+    # -- memory management (host-side, no simulated time) --------------------------
+    def malloc(self, nbytes: int, tag: str = "") -> DeviceAllocation:
+        """Allocate device memory (cudaMalloc)."""
+        return self.memory.malloc(nbytes, tag=tag)
+
+    def free(self, alloc: DeviceAllocation) -> None:
+        """Free device memory (cudaFree)."""
+        self.memory.free_allocation(alloc)
+
+    # -- data movement ---------------------------------------------------------------
+    def memcpy_async(
+        self,
+        nbytes: int,
+        kind: CopyKind,
+        stream: Optional[Stream] = None,
+        thread: int = 0,
+    ) -> Generator[Event, Any, CopyOp]:
+        """cudaMemcpyAsync: enqueue a transfer, return its op handle.
+
+        The host pays the API overhead and the injected slack, then
+        continues; wait on ``op.completion`` for the data.
+        """
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if kind is CopyKind.D2D:
+            raise ValueError("D2D copies do not cross the host link")
+        stream = stream or self.default_stream
+        start = self.env.now
+        corr = self.tracer.next_correlation_id()
+        yield self.env.timeout(self.api_overhead_s)
+        op = CopyOp(
+            completion=self.env.event(),
+            thread=thread,
+            correlation_id=corr,
+            nbytes=nbytes,
+            copy_kind=kind,
+            transfer_time=self.pcie.transfer_time(nbytes),
+        )
+        yield stream.submit(op)
+        self._record_api("cudaMemcpyAsync", start, corr, thread)
+        yield from self.injector.after_call("cudaMemcpyAsync", thread)
+        return op
+
+    def memcpy(
+        self,
+        nbytes: int,
+        kind: CopyKind,
+        stream: Optional[Stream] = None,
+        thread: int = 0,
+    ) -> Generator[Event, Any, CopyOp]:
+        """cudaMemcpy: synchronous transfer (blocks the host thread)."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if kind is CopyKind.D2D:
+            raise ValueError("D2D copies do not cross the host link")
+        stream = stream or self.default_stream
+        start = self.env.now
+        corr = self.tracer.next_correlation_id()
+        yield self.env.timeout(self.api_overhead_s)
+        op = CopyOp(
+            completion=self.env.event(),
+            thread=thread,
+            correlation_id=corr,
+            nbytes=nbytes,
+            copy_kind=kind,
+            transfer_time=self.pcie.transfer_time(nbytes),
+        )
+        yield stream.submit(op)
+        yield op.completion
+        self._record_api("cudaMemcpy", start, corr, thread)
+        yield from self.injector.after_call("cudaMemcpy", thread)
+        return op
+
+    # -- kernels -------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: KernelSpec,
+        stream: Optional[Stream] = None,
+        thread: int = 0,
+        blocking: bool = False,
+    ) -> Generator[Event, Any, KernelOp]:
+        """Launch a kernel.
+
+        The host pays the driver launch overhead plus slack; the
+        kernel executes when the stream reaches it. With
+        ``blocking=True`` (the ``CUDA_LAUNCH_BLOCKING=1`` behaviour the
+        paper's proxy uses as its pessimistic synchronous mode) the
+        call returns only after the kernel completes, which keeps the
+        injected slack on the critical path so Equation 1's
+        ``n_calls * slack`` subtraction is exact.
+        """
+        stream = stream or self.default_stream
+        start = self.env.now
+        corr = self.tracer.next_correlation_id()
+        yield self.env.timeout(self.gpu.launch_overhead_s)
+        op = KernelOp(
+            completion=self.env.event(),
+            thread=thread,
+            correlation_id=corr,
+            kernel=kernel,
+        )
+        yield stream.submit(op)
+        if blocking:
+            yield op.completion
+        self._record_api("cudaLaunchKernel", start, corr, thread)
+        yield from self.injector.after_call("cudaLaunchKernel", thread)
+        return op
+
+    # -- synchronization ---------------------------------------------------------------
+    def synchronize(
+        self, stream: Optional[Stream] = None, thread: int = 0
+    ) -> Generator[Event, Any, None]:
+        """cudaDeviceSynchronize / cudaStreamSynchronize.
+
+        With ``stream`` given, waits for that stream only; otherwise
+        for every stream on the device.
+        """
+        start = self.env.now
+        corr = self.tracer.next_correlation_id()
+        yield self.env.timeout(self.api_overhead_s)
+        if stream is not None:
+            yield stream.drained()
+            name = "cudaStreamSynchronize"
+        else:
+            for s in self._streams.values():
+                yield s.drained()
+            name = "cudaDeviceSynchronize"
+        self.tracer.record(
+            EventKind.SYNC, name, start, self.env.now, correlation_id=corr,
+            thread=thread,
+        )
+        yield from self.injector.after_call(name, thread)
+
+    # -- statistics --------------------------------------------------------------------
+    def engine_utilization(self) -> Dict[str, float]:
+        """Busy fractions of the three device engines."""
+        return {
+            "compute": self.compute.utilization(),
+            "copy_h2d": self.copy_h2d.utilization(),
+            "copy_d2h": self.copy_d2h.utilization(),
+        }
+
+    def total_starvation_cost(self) -> float:
+        """Accumulated GPU-starvation cost (the paper's residual penalty)."""
+        return self.compute.total_starvation_cost
+
+    def _record_api(
+        self, name: str, start: float, corr: int, thread: int
+    ) -> None:
+        self.tracer.record(
+            EventKind.API, name, start, self.env.now, correlation_id=corr,
+            thread=thread,
+        )

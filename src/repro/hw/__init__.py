@@ -1,0 +1,59 @@
+"""Hardware models: CPU/GPU/node specs, PCIe fabric, device memory.
+
+Defaults parameterize the paper's testbed (Narval: 2x EPYC 7413 +
+4x A100-SXM4-40GB over PCIe Gen4).
+"""
+
+from .memory import DeviceAllocation, DeviceMemory, OutOfMemoryError
+from .pcie import (
+    BDF,
+    EnumerationError,
+    PCIE_DEFAULT_COMPLETION_TIMEOUT_S,
+    PCIE_MAX_BUSES,
+    PCIE_MAX_DEVICES_PER_BUS,
+    PCIeDevice,
+    PCIeDomain,
+    PCIeSwitch,
+    PCIeTopology,
+    completion_timeout_margin,
+)
+from .specs import (
+    A100_SXM4_40GB,
+    CPUSpec,
+    EPYC_7413,
+    GiB,
+    GPUSpec,
+    KiB,
+    MiB,
+    NARVAL_NODE,
+    NodeSpec,
+    PCIE_GEN4_X16,
+    PCIeSpec,
+)
+
+__all__ = [
+    "GiB",
+    "MiB",
+    "KiB",
+    "GPUSpec",
+    "CPUSpec",
+    "PCIeSpec",
+    "NodeSpec",
+    "A100_SXM4_40GB",
+    "EPYC_7413",
+    "PCIE_GEN4_X16",
+    "NARVAL_NODE",
+    "DeviceMemory",
+    "DeviceAllocation",
+    "OutOfMemoryError",
+    "BDF",
+    "PCIeDevice",
+    "PCIeDomain",
+    "PCIeSwitch",
+    "PCIeTopology",
+    "EnumerationError",
+    "completion_timeout_margin",
+    "PCIE_MAX_BUSES",
+    "PCIE_MAX_DEVICES_PER_BUS",
+    "PCIE_DEFAULT_COMPLETION_TIMEOUT_S",
+]

@@ -1,0 +1,134 @@
+"""GPU device-memory allocator.
+
+A first-fit free-list allocator over a fixed-size device memory. It
+exists because the paper's proxy bounds are memory-driven: three
+square float matrices of size 2^15 occupy 3 x 4 GiB, which fits one
+thread on a 40 GiB A100 but not four threads (3 * 4 GiB * 4 > 40 GiB)
+— the reason matrix size 2^15 is absent from Figure 3(b,c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["DeviceAllocation", "DeviceMemory", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when a device allocation cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class DeviceAllocation:
+    """A live allocation: opaque device pointer plus its extent."""
+
+    ptr: int
+    nbytes: int
+    tag: str = ""
+
+
+class DeviceMemory:
+    """First-fit allocator over ``capacity`` bytes of device memory.
+
+    Allocations are aligned to ``alignment`` bytes (256 matches CUDA's
+    ``cudaMalloc`` guarantee). Freeing coalesces adjacent free blocks.
+    """
+
+    def __init__(self, capacity: int, alignment: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = int(capacity)
+        self.alignment = alignment
+        # Free list as sorted (offset, size) blocks.
+        self._free: List[Tuple[int, int]] = [(0, self.capacity)]
+        self._live: Dict[int, DeviceAllocation] = {}
+        self._peak = 0
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.nbytes for a in self._live.values())
+
+    @property
+    def free(self) -> int:
+        """Bytes currently free (may be fragmented)."""
+        return self.capacity - self.used
+
+    @property
+    def peak_used(self) -> int:
+        """High-water mark of allocated bytes."""
+        return self._peak
+
+    @property
+    def allocations(self) -> Tuple[DeviceAllocation, ...]:
+        """All live allocations."""
+        return tuple(self._live.values())
+
+    def largest_free_block(self) -> int:
+        """Size of the largest contiguous free block."""
+        return max((size for _, size in self._free), default=0)
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        rounded = self._round(nbytes)
+        return any(size >= rounded for _, size in self._free)
+
+    # -- allocate / free -------------------------------------------------------
+    def malloc(self, nbytes: int, tag: str = "") -> DeviceAllocation:
+        """Allocate ``nbytes`` (rounded up to the alignment).
+
+        Raises
+        ------
+        OutOfMemoryError
+            If no contiguous free block is large enough.
+        """
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        rounded = self._round(nbytes)
+        for i, (offset, size) in enumerate(self._free):
+            if size >= rounded:
+                if size == rounded:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (offset + rounded, size - rounded)
+                alloc = DeviceAllocation(ptr=offset, nbytes=rounded, tag=tag)
+                self._live[offset] = alloc
+                self._peak = max(self._peak, self.used)
+                return alloc
+        raise OutOfMemoryError(
+            f"cannot allocate {nbytes} bytes: {self.free} free "
+            f"(largest contiguous block {self.largest_free_block()})"
+        )
+
+    def free_allocation(self, alloc: DeviceAllocation) -> None:
+        """Return an allocation's bytes to the free list."""
+        if alloc.ptr not in self._live:
+            raise ValueError(f"pointer {alloc.ptr:#x} is not a live allocation")
+        del self._live[alloc.ptr]
+        self._insert_free(alloc.ptr, alloc.nbytes)
+
+    def reset(self) -> None:
+        """Free everything (device reset)."""
+        self._live.clear()
+        self._free = [(0, self.capacity)]
+
+    # -- internals -----------------------------------------------------------
+    def _round(self, nbytes: int) -> int:
+        a = self.alignment
+        return (int(nbytes) + a - 1) // a * a
+
+    def _insert_free(self, offset: int, size: int) -> None:
+        # Insert keeping the list sorted, then coalesce neighbours.
+        self._free.append((offset, size))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for off, sz in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + sz)
+            else:
+                merged.append((off, sz))
+        self._free = merged

@@ -1,0 +1,246 @@
+"""PCIe topology, bus enumeration and address-space modelling.
+
+The paper's Background section identifies two PCIe obstacles CDI
+vendors must solve before a chassis can serve GPUs across racks:
+
+* **bus enumeration** — PCIe bus numbers are 8-bit; a fabric that
+  naively merges every chassis into one PCIe domain runs out of bus
+  IDs. Vendors either spend the full Bus/Device/Function space or
+  translate between *separate PCIe domains*.
+* **transaction timeouts** — PCIe completion timeouts bound how much
+  latency a disaggregated path can add before transactions abort.
+
+:class:`PCIeDomain` models the enumeration budget and
+:class:`PCIeSwitch`/:class:`PCIeTopology` a node- or chassis-internal
+switch hierarchy. :func:`completion_timeout_margin` answers how much
+slack fits under the PCIe completion timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .specs import PCIeSpec
+
+__all__ = [
+    "BDF",
+    "PCIeDevice",
+    "PCIeDomain",
+    "PCIeSwitch",
+    "PCIeTopology",
+    "EnumerationError",
+    "completion_timeout_margin",
+    "PCIE_MAX_BUSES",
+    "PCIE_MAX_DEVICES_PER_BUS",
+    "PCIE_DEFAULT_COMPLETION_TIMEOUT_S",
+]
+
+#: PCIe bus numbers are 8 bits per domain.
+PCIE_MAX_BUSES = 256
+#: Device numbers are 5 bits per bus.
+PCIE_MAX_DEVICES_PER_BUS = 32
+#: Typical default completion-timeout range midpoint (50 ms, range D
+#: allows up to 64 s on capable devices).
+PCIE_DEFAULT_COMPLETION_TIMEOUT_S = 50e-3
+
+
+class EnumerationError(RuntimeError):
+    """Raised when a PCIe domain runs out of enumeration space."""
+
+
+@dataclass(frozen=True)
+class BDF:
+    """A Bus/Device/Function address within one PCIe domain."""
+
+    bus: int
+    device: int
+    function: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bus < PCIE_MAX_BUSES:
+            raise ValueError(f"bus {self.bus} out of range")
+        if not 0 <= self.device < PCIE_MAX_DEVICES_PER_BUS:
+            raise ValueError(f"device {self.device} out of range")
+        if not 0 <= self.function < 8:
+            raise ValueError(f"function {self.function} out of range")
+
+    def __str__(self) -> str:
+        return f"{self.bus:02x}:{self.device:02x}.{self.function}"
+
+
+@dataclass
+class PCIeDevice:
+    """An endpoint (GPU, NIC, switch port) enumerated on a domain."""
+
+    name: str
+    kind: str = "gpu"
+    bdf: Optional[BDF] = None
+    #: Buses a bridge/switch consumes downstream of itself.
+    buses_consumed: int = 1
+
+
+class PCIeDomain:
+    """One PCIe enumeration domain with a finite bus budget.
+
+    A traditional node is one domain. A naive rack-scale CDI fabric
+    extends this single domain to the chassis, so every remote GPU and
+    every switch level consumes buses here — which is exactly the
+    scaling wall the paper describes. Row-scale solutions instead
+    bridge *separate* domains through address translation, modelled by
+    simply creating one :class:`PCIeDomain` per chassis.
+    """
+
+    def __init__(self, domain_id: int = 0, reserved_buses: int = 1) -> None:
+        if not 0 <= reserved_buses < PCIE_MAX_BUSES:
+            raise ValueError("reserved_buses out of range")
+        self.domain_id = domain_id
+        self._next_bus = reserved_buses
+        self._next_device: Dict[int, int] = {}
+        self.devices: List[PCIeDevice] = []
+
+    @property
+    def buses_used(self) -> int:
+        """Number of bus IDs consumed so far (including reserved)."""
+        return self._next_bus
+
+    @property
+    def buses_free(self) -> int:
+        """Remaining bus IDs before enumeration fails."""
+        return PCIE_MAX_BUSES - self._next_bus
+
+    def enumerate_device(self, device: PCIeDevice) -> BDF:
+        """Assign a BDF to ``device``, consuming enumeration space.
+
+        Switches/bridges consume ``device.buses_consumed`` extra bus
+        numbers for their downstream hierarchy.
+        """
+        extra = device.buses_consumed if device.kind in ("switch", "bridge") else 0
+        if self._next_bus + extra >= PCIE_MAX_BUSES:
+            raise EnumerationError(
+                f"domain {self.domain_id}: out of PCIe bus numbers "
+                f"({self._next_bus} used, device needs {extra + 1})"
+            )
+        bus = self._next_bus
+        slot = self._next_device.get(bus, 0)
+        if slot >= PCIE_MAX_DEVICES_PER_BUS:
+            raise EnumerationError(
+                f"domain {self.domain_id}: bus {bus} device space exhausted"
+            )
+        self._next_device[bus] = slot + 1
+        if extra:
+            self._next_bus += extra
+        elif slot + 1 >= PCIE_MAX_DEVICES_PER_BUS:
+            self._next_bus += 1
+        bdf = BDF(bus=bus, device=slot)
+        device.bdf = bdf
+        self.devices.append(device)
+        return bdf
+
+    def can_fit(self, n_gpus: int, buses_per_gpu: int = 2) -> bool:
+        """Whether ``n_gpus`` more GPUs (with their bridges) fit."""
+        return self.buses_free >= n_gpus * buses_per_gpu
+
+
+@dataclass
+class PCIeSwitch:
+    """A switch fanning one upstream link out to several downstream ports."""
+
+    name: str
+    spec: PCIeSpec = field(default_factory=PCIeSpec)
+    downstream_ports: int = 8
+    hop_latency_s: float = 0.15e-6
+
+    def __post_init__(self) -> None:
+        if self.downstream_ports <= 0:
+            raise ValueError("downstream_ports must be positive")
+        if self.hop_latency_s < 0:
+            raise ValueError("hop_latency_s must be non-negative")
+
+
+class PCIeTopology:
+    """A tree of PCIe switches from a root port down to endpoints.
+
+    Used to compute the host-to-GPU path latency inside a node or a
+    CDI chassis: each switch hop adds ``hop_latency_s``.
+    """
+
+    def __init__(self, root_spec: Optional[PCIeSpec] = None) -> None:
+        self.root_spec = root_spec or PCIeSpec()
+        self._children: Dict[str, List[str]] = {"root": []}
+        self._switches: Dict[str, PCIeSwitch] = {}
+        self._endpoints: Dict[str, str] = {}  # endpoint -> parent
+
+    def add_switch(self, switch: PCIeSwitch, parent: str = "root") -> None:
+        """Attach a switch beneath ``parent`` ('root' or another switch)."""
+        if parent != "root" and parent not in self._switches:
+            raise KeyError(f"unknown parent {parent!r}")
+        if switch.name in self._switches:
+            raise ValueError(f"duplicate switch {switch.name!r}")
+        self._switches[switch.name] = switch
+        self._children.setdefault(parent, []).append(switch.name)
+        self._children[switch.name] = []
+
+    def add_endpoint(self, name: str, parent: str = "root") -> None:
+        """Attach an endpoint (GPU/NIC) beneath ``parent``."""
+        if parent != "root" and parent not in self._switches:
+            raise KeyError(f"unknown parent {parent!r}")
+        if name in self._endpoints:
+            raise ValueError(f"duplicate endpoint {name!r}")
+        if parent != "root":
+            used = sum(1 for e, p in self._endpoints.items() if p == parent)
+            used += sum(1 for c in self._children[parent] if c in self._switches)
+            if used >= self._switches[parent].downstream_ports:
+                raise ValueError(f"switch {parent!r} has no free downstream port")
+        self._endpoints[name] = parent
+        self._children.setdefault(parent, []).append(name)
+
+    def hops_to(self, endpoint: str) -> int:
+        """Number of switch hops from the root port to ``endpoint``."""
+        if endpoint not in self._endpoints:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        hops = 0
+        node = self._endpoints[endpoint]
+        while node != "root":
+            hops += 1
+            node = self._parent_of_switch(node)
+        return hops
+
+    def path_latency(self, endpoint: str) -> float:
+        """One-way root-to-endpoint latency: link + per-hop costs."""
+        latency = self.root_spec.latency_s
+        node = self._endpoints[endpoint] if endpoint in self._endpoints else None
+        if node is None:
+            raise KeyError(f"unknown endpoint {endpoint!r}")
+        while node != "root":
+            latency += self._switches[node].hop_latency_s
+            node = self._parent_of_switch(node)
+        return latency
+
+    def endpoints(self) -> Iterator[str]:
+        """All endpoint names."""
+        return iter(self._endpoints)
+
+    def _parent_of_switch(self, name: str) -> str:
+        for parent, children in self._children.items():
+            if name in children:
+                return parent
+        raise KeyError(name)  # pragma: no cover - invariant
+
+
+def completion_timeout_margin(
+    slack_s: float,
+    base_path_latency_s: float = 2e-6,
+    timeout_s: float = PCIE_DEFAULT_COMPLETION_TIMEOUT_S,
+) -> float:
+    """Remaining headroom under the PCIe completion timeout.
+
+    Returns ``timeout - (base round trip + 2*slack)``; negative values
+    mean a disaggregated transaction would abort. The paper notes PCIe
+    timeouts are "long enough to potentially be avoided" for realistic
+    slack — this quantifies that claim.
+    """
+    if slack_s < 0:
+        raise ValueError("slack_s must be non-negative")
+    round_trip = 2.0 * (base_path_latency_s + slack_s)
+    return timeout_s - round_trip

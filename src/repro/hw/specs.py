@@ -1,0 +1,211 @@
+"""Hardware specifications for the simulated testbed.
+
+Defaults model the Digital Research Alliance of Canada's *Narval*
+cluster nodes used in the paper: two AMD EPYC Milan 7413 CPUs (24
+cores each) and four NVIDIA A100-SXM4-40GB GPUs, GPUs attached over
+PCIe Gen4 x16.
+
+Specs are plain frozen dataclasses so experiment configurations can be
+constructed declaratively and hashed/compared in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+__all__ = [
+    "GiB",
+    "MiB",
+    "KiB",
+    "GPUSpec",
+    "CPUSpec",
+    "PCIeSpec",
+    "NodeSpec",
+    "A100_SXM4_40GB",
+    "EPYC_7413",
+    "PCIE_GEN4_X16",
+    "NARVAL_NODE",
+]
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """A PCIe link configuration.
+
+    Parameters
+    ----------
+    generation:
+        PCIe generation (3, 4, 5...). Only used for bookkeeping.
+    lanes:
+        Lane count (x1..x16).
+    per_lane_gbps:
+        Raw signalling rate per lane in Gbit/s (16 for Gen4).
+    efficiency:
+        Fraction of raw bandwidth achievable for bulk DMA after
+        encoding and protocol overhead (~0.8 measured for Gen4).
+    latency_s:
+        One-way link latency for a minimum-sized transaction.
+    """
+
+    generation: int = 4
+    lanes: int = 16
+    per_lane_gbps: float = 16.0
+    efficiency: float = 0.80
+    latency_s: float = 0.5e-6
+
+    def __post_init__(self) -> None:
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid PCIe lane count {self.lanes}")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.per_lane_gbps <= 0:
+            raise ValueError("per_lane_gbps must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+    @property
+    def raw_bandwidth_Bps(self) -> float:
+        """Raw aggregate bandwidth in bytes/second."""
+        return self.lanes * self.per_lane_gbps * 1e9 / 8.0
+
+    @property
+    def effective_bandwidth_Bps(self) -> float:
+        """Achievable bulk-transfer bandwidth in bytes/second."""
+        return self.raw_bandwidth_Bps * self.efficiency
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` over the link (latency + serialization)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_s + nbytes / self.effective_bandwidth_Bps
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU's compute and memory characteristics.
+
+    The defaults describe an NVIDIA A100-SXM4-40GB: 19.5 TFLOP/s FP32
+    peak, 40 GiB HBM2e at 1555 GB/s. The latency-hiding parameters
+    (``launch_overhead_s``, ``idle_ramp_cap_s``) encode the observable
+    costs that slack uncovers:
+
+    * every kernel launch pays ``launch_overhead_s`` of host-visible
+      setup, which is *hidden* while the device queue is non-empty and
+      *exposed* when the GPU is starved;
+    * after an idle gap the device additionally pays a warm-up cost
+      that grows with the gap (clock/power-state ramp, scheduler
+      re-priming) and saturates at ``idle_ramp_cap_s``.
+    """
+
+    name: str = "A100-SXM4-40GB"
+    fp32_tflops: float = 19.5
+    memory_bytes: int = 40 * GiB
+    memory_bandwidth_Bps: float = 1555e9
+    sm_count: int = 108
+    max_resident_kernels: int = 128
+    launch_overhead_s: float = 4.0e-6
+    idle_ramp_fraction: float = 0.9
+    idle_ramp_cap_s: float = 25.0e-3
+    min_kernel_time_s: float = 2.5e-6
+
+    def __post_init__(self) -> None:
+        if self.fp32_tflops <= 0:
+            raise ValueError("fp32_tflops must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.launch_overhead_s < 0 or self.min_kernel_time_s < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.idle_ramp_fraction < 0:
+            raise ValueError("idle_ramp_fraction must be non-negative")
+        if self.idle_ramp_cap_s < 0:
+            raise ValueError("idle_ramp_cap_s must be non-negative")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s."""
+        return self.fp32_tflops * 1e12
+
+    def starvation_cost(self, idle_gap_s: float) -> float:
+        """Extra execution time charged after an idle gap of ``idle_gap_s``.
+
+        This is the GPU-starvation mechanism the paper isolates with
+        Equation 1: cost grows linearly with the uncovered idle gap
+        (``idle_ramp_fraction`` per second of gap) and saturates at
+        ``idle_ramp_cap_s``. A busy queue has gap 0 and pays nothing.
+        """
+        if idle_gap_s <= 0:
+            return 0.0
+        return min(self.idle_ramp_fraction * idle_gap_s, self.idle_ramp_cap_s)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU socket's characteristics (default: AMD EPYC Milan 7413)."""
+
+    name: str = "EPYC-7413"
+    cores: int = 24
+    base_clock_ghz: float = 2.65
+    flops_per_cycle: float = 16.0
+    smt: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.base_clock_ghz <= 0:
+            raise ValueError("base_clock_ghz must be positive")
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        """Peak FLOP/s of a single core."""
+        return self.base_clock_ghz * 1e9 * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A heterogeneous compute node: sockets, GPUs and the PCIe fabric."""
+
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    sockets: int = 2
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    gpus: int = 4
+    pcie: PCIeSpec = field(default_factory=PCIeSpec)
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ValueError("sockets must be positive")
+        if self.gpus < 0:
+            raise ValueError("gpus must be non-negative")
+
+    @property
+    def total_cores(self) -> int:
+        """All physical cores on the node."""
+        return self.cpu.cores * self.sockets
+
+    @property
+    def cores_per_gpu(self) -> float:
+        """The node's fixed CPU:GPU core ratio (inf for CPU-only nodes)."""
+        if self.gpus == 0:
+            return float("inf")
+        return self.total_cores / self.gpus
+
+    def with_gpus(self, gpus: int) -> "NodeSpec":
+        """A copy of this node with a different GPU count."""
+        return replace(self, gpus=gpus)
+
+
+#: The paper's GPU: NVIDIA A100-SXM4 40 GiB.
+A100_SXM4_40GB = GPUSpec()
+
+#: The paper's CPU: AMD EPYC Milan 7413, 24 cores.
+EPYC_7413 = CPUSpec()
+
+#: PCIe Gen4 x16, the A100-SXM4 host link.
+PCIE_GEN4_X16 = PCIeSpec()
+
+#: A Narval-like node: 2x EPYC 7413 + 4x A100-40GB.
+NARVAL_NODE = NodeSpec()

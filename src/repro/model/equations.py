@@ -1,0 +1,93 @@
+"""The paper's three equations.
+
+* **Equation 1** removes the direct (admissible) network delay from a
+  measured runtime so only the GPU-starvation residual remains:
+  ``Time_NoSlack = Time - num_CUDA_calls * Slack_call``.
+* **Equation 3** collapses a binned distribution (kernel durations or
+  transfer sizes, expressed as proxy matrix-size equivalents) to a
+  single slack penalty: the element-count-weighted mean of the
+  per-size penalties.
+* **Equation 2** combines the kernel and memory penalties, each
+  weighted by the fraction of application runtime spent in that kind
+  of operation: ``SP_total = %Runtime_K * SP_K + %Runtime_M * SP_M``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "equation1_remove_direct_slack",
+    "equation2_total_slack_penalty",
+    "equation3_binned_slack_penalty",
+]
+
+
+def equation1_remove_direct_slack(
+    time_s: float, num_cuda_calls: int, slack_per_call_s: float
+) -> float:
+    """Equation 1: subtract the direct per-call delay from a runtime.
+
+    The remainder, compared against a zero-slack baseline, isolates
+    the *secondary* cost of slack: the GPU being starved of work.
+    """
+    if time_s < 0:
+        raise ValueError("time_s must be non-negative")
+    if num_cuda_calls < 0:
+        raise ValueError("num_cuda_calls must be non-negative")
+    if slack_per_call_s < 0:
+        raise ValueError("slack_per_call_s must be non-negative")
+    return time_s - num_cuda_calls * slack_per_call_s
+
+
+def equation2_total_slack_penalty(
+    runtime_fraction_kernel: float,
+    sp_kernel: float,
+    runtime_fraction_memory: float,
+    sp_memory: float,
+) -> float:
+    """Equation 2: runtime-weighted total slack penalty.
+
+    Fractions are of total application runtime (they need not sum to
+    1; the remainder is host-side time slack does not amplify).
+    """
+    for name, frac in (
+        ("runtime_fraction_kernel", runtime_fraction_kernel),
+        ("runtime_fraction_memory", runtime_fraction_memory),
+    ):
+        if not 0.0 <= frac <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {frac}")
+    if runtime_fraction_kernel + runtime_fraction_memory > 1.0 + 1e-9:
+        raise ValueError("runtime fractions sum beyond 1")
+    if sp_kernel < 0 or sp_memory < 0:
+        raise ValueError("slack penalties must be non-negative")
+    return (
+        runtime_fraction_kernel * sp_kernel
+        + runtime_fraction_memory * sp_memory
+    )
+
+
+def equation3_binned_slack_penalty(
+    element_counts: Mapping[int, float],
+    penalty_per_size: Mapping[int, float],
+) -> float:
+    """Equation 3: count-weighted mean penalty over matrix-size bins.
+
+    ``element_counts`` maps proxy matrix sizes to how many of the
+    application's kernels/transfers were binned there;
+    ``penalty_per_size`` maps the same sizes to the proxy's measured
+    slack penalty.
+    """
+    total = float(sum(element_counts.values()))
+    if total <= 0:
+        raise ValueError("element_counts is empty")
+    acc = 0.0
+    for size, count in element_counts.items():
+        if count < 0:
+            raise ValueError(f"negative count for size {size}")
+        if count == 0:
+            continue
+        if size not in penalty_per_size:
+            raise KeyError(f"no penalty available for matrix size {size}")
+        acc += penalty_per_size[size] * count
+    return acc / total

@@ -1,0 +1,140 @@
+"""Self-validation of the prediction methodology (paper Section IV-D).
+
+The paper validates Equations 2-3 by feeding the *proxy's own* traces
+through the prediction pipeline and checking how well it predicts its
+own measured penalty: the lower bound landed within 0.005 of the
+actual for single-threaded runs, while the upper bound was severely
+pessimistic (shrinking as threads were added).
+
+:func:`validate_self_prediction` reproduces that experiment for one
+grid point; :func:`validation_report` sweeps a set of points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..apps.base import AppProfile
+from ..network import SlackModel
+from ..proxy import ProxyConfig, SlackResponseSurface, run_proxy
+from .predictor import CDIProfiler
+
+__all__ = ["SelfValidationResult", "validate_self_prediction", "validation_report"]
+
+
+@dataclass(frozen=True)
+class SelfValidationResult:
+    """Prediction-vs-actual for one proxy configuration."""
+
+    matrix_size: int
+    threads: int
+    slack_s: float
+    actual_penalty: float
+    predicted_lower: float
+    predicted_upper: float
+
+    @property
+    def lower_error(self) -> float:
+        """Signed error of the lower bound (prediction - actual)."""
+        return self.predicted_lower - self.actual_penalty
+
+    @property
+    def upper_pessimism(self) -> float:
+        """How far above the actual the upper bound sits."""
+        return self.predicted_upper - self.actual_penalty
+
+
+def _proxy_profile(
+    config: ProxyConfig, duration_jitter: float = 0.0,
+    seed: int = 7,
+) -> AppProfile:
+    """Build an AppProfile from a zero-slack proxy run.
+
+    ``duration_jitter`` optionally perturbs the traced kernel
+    durations and transfer sizes the way real measurement noise would,
+    which pushes observations off the exact grid points and exercises
+    the lower/upper bracketing the way real application traces do.
+    """
+    result = run_proxy(config, SlackModel.none())
+    trace = result.trace
+    if duration_jitter > 0:
+        from ..trace import Trace, TraceEvent
+
+        rng = np.random.default_rng(seed)
+        jittered = Trace(name=trace.name)
+        for e in trace:
+            factor = float(rng.lognormal(0.0, duration_jitter))
+            end = e.start + e.duration * factor
+            nbytes = int(e.nbytes * factor) if e.nbytes else 0
+            jittered.append(
+                TraceEvent(
+                    kind=e.kind, name=e.name, start=e.start, end=end,
+                    stream=e.stream, nbytes=nbytes, copy_kind=e.copy_kind,
+                    correlation_id=e.correlation_id, thread=e.thread,
+                    meta=dict(e.meta),
+                )
+            )
+        trace = jittered
+    return AppProfile(
+        name=f"proxy-n{config.matrix_size}",
+        trace=trace,
+        runtime_s=result.loop_runtime_s,
+        queue_parallelism=config.threads,
+        cuda_calls_per_second=(
+            result.cuda_calls * config.threads / result.loop_runtime_s
+        ),
+    )
+
+
+def validate_self_prediction(
+    surface: SlackResponseSurface,
+    matrix_size: int,
+    slack_s: float,
+    threads: int = 1,
+    iterations: Optional[int] = None,
+    duration_jitter: float = 0.0,
+    profiler: Optional[CDIProfiler] = None,
+) -> SelfValidationResult:
+    """Predict the proxy's own penalty from its trace and compare."""
+    config = ProxyConfig(
+        matrix_size=matrix_size, threads=threads, iterations=iterations
+    )
+    baseline = run_proxy(config, SlackModel.none())
+    run = run_proxy(config, SlackModel(slack_s))
+    actual = max(
+        0.0, run.corrected_runtime_s / baseline.loop_runtime_s - 1.0
+    )
+
+    profile = _proxy_profile(config, duration_jitter)
+    profiler = profiler or CDIProfiler(surface)
+    prediction = profiler.predict(profile, slack_s, parallelism=threads)
+    return SelfValidationResult(
+        matrix_size=matrix_size,
+        threads=threads,
+        slack_s=slack_s,
+        actual_penalty=actual,
+        predicted_lower=prediction.lower,
+        predicted_upper=prediction.upper,
+    )
+
+
+def validation_report(
+    surface: SlackResponseSurface,
+    matrix_sizes: Sequence[int],
+    slack_values_s: Sequence[float],
+    threads: int = 1,
+    iterations: Optional[int] = None,
+    duration_jitter: float = 0.0,
+) -> List[SelfValidationResult]:
+    """Self-validate over a grid of proxy configurations."""
+    profiler = CDIProfiler(surface)
+    return [
+        validate_self_prediction(
+            surface, n, s, threads, iterations, duration_jitter, profiler
+        )
+        for n in matrix_sizes
+        for s in slack_values_s
+    ]

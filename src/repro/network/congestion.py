@@ -1,0 +1,74 @@
+"""Network congestion model.
+
+The paper's single-node method assumes "added latencies due to network
+channel congestion is a non-issue" and studies worst-case fixed slack
+instead. This module makes that assumption testable: an M/M/1-style
+queueing inflation turns background fabric load into extra latency, so
+users can ask how much utilization headroom a slack budget leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CongestionModel", "utilization_for_inflation"]
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """Latency inflation as a function of background load.
+
+    Uses the M/M/1 waiting-time factor: at utilization ``rho`` the
+    expected sojourn time is ``service / (1 - rho)``. ``max_utilization``
+    caps the model's valid range (beyond it the queue is unstable).
+    """
+
+    service_time_s: float = 1.0e-6
+    max_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.service_time_s <= 0:
+            raise ValueError("service_time_s must be positive")
+        if not 0 < self.max_utilization < 1:
+            raise ValueError("max_utilization must be in (0, 1)")
+
+    def latency_at(self, utilization: float) -> float:
+        """Expected per-message latency at the given background load."""
+        if utilization < 0:
+            raise ValueError("utilization must be non-negative")
+        if utilization >= self.max_utilization:
+            raise ValueError(
+                f"utilization {utilization} beyond stable range "
+                f"(< {self.max_utilization})"
+            )
+        return self.service_time_s / (1.0 - utilization)
+
+    def inflation_at(self, utilization: float) -> float:
+        """Multiplicative latency inflation relative to an idle fabric."""
+        return self.latency_at(utilization) / self.service_time_s
+
+    def extra_slack_at(self, utilization: float) -> float:
+        """Additional slack attributable to congestion alone."""
+        return self.latency_at(utilization) - self.service_time_s
+
+    def sample_latencies(
+        self, utilization: float, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``n`` exponential sojourn times at ``utilization``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        mean = self.latency_at(utilization)
+        return rng.exponential(scale=mean, size=n)
+
+
+def utilization_for_inflation(inflation: float) -> float:
+    """Inverse model: the utilization that yields a given inflation.
+
+    >>> utilization_for_inflation(2.0)  # latency doubles at 50% load
+    0.5
+    """
+    if inflation < 1.0:
+        raise ValueError("inflation must be >= 1")
+    return 1.0 - 1.0 / inflation

@@ -1,0 +1,226 @@
+"""CDI fabric topologies: rack-, row- and cluster-scale.
+
+Builds a networkx graph of hosts, fabric switches and GPU chassis with
+physically-motivated cable lengths, and derives the *slack* a given
+host-chassis pairing experiences from the path: NIC costs at both
+endpoints, per-switch hop latency, and fibre time-of-flight over the
+accumulated cable length. This is how experiment configurations turn
+"this GPU lives two racks away" into a per-CUDA-call delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .slack import SlackModel, latency_for_fibre_distance
+
+__all__ = ["Scale", "FabricSpec", "Fabric", "PathInfo"]
+
+
+class Scale(str, Enum):
+    """Deployment scale of a CDI fabric (how far a chassis can serve)."""
+
+    RACK = "rack"
+    ROW = "row"
+    CLUSTER = "cluster"
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Geometry and component costs of a CDI fabric.
+
+    Distances follow typical machine-room dimensions: ~2 m of cable
+    within a rack, ~1.5 m between adjacent racks in a row, ~30 m
+    between rows.
+    """
+
+    scale: Scale = Scale.ROW
+    racks_per_row: int = 8
+    rows: int = 1
+    hosts_per_rack: int = 4
+    chassis_racks: Tuple[int, ...] = (0,)
+    intra_rack_cable_m: float = 2.0
+    inter_rack_cable_m: float = 1.5
+    inter_row_cable_m: float = 30.0
+    nic_latency_s: float = 0.5e-6
+    switch_hop_latency_s: float = 0.3e-6
+
+    def __post_init__(self) -> None:
+        if self.racks_per_row <= 0 or self.rows <= 0 or self.hosts_per_rack <= 0:
+            raise ValueError("fabric dimensions must be positive")
+        for r in self.chassis_racks:
+            if not 0 <= r < self.racks_per_row * self.rows:
+                raise ValueError(f"chassis rack {r} outside fabric")
+        if self.scale is Scale.RACK and len(self.chassis_racks) < 1:
+            raise ValueError("rack-scale fabric needs a chassis per served rack")
+
+
+@dataclass(frozen=True)
+class PathInfo:
+    """Resolved host-to-chassis path characteristics."""
+
+    host: str
+    chassis: str
+    switch_hops: int
+    cable_m: float
+    slack_s: float
+
+    def slack_model(self) -> SlackModel:
+        """A deterministic slack model for this path."""
+        return SlackModel(self.slack_s)
+
+
+class Fabric:
+    """A populated CDI fabric graph.
+
+    Node names: ``host:<rack>:<i>``, ``tor:<rack>`` (top-of-rack
+    switch), ``row:<row>`` (row/spine switch), ``chassis:<rack>``.
+    Edges carry ``cable_m``. Rack-scale paths go host->tor->chassis;
+    row-scale adds the row switch; cluster-scale adds a core switch.
+    """
+
+    def __init__(self, spec: FabricSpec) -> None:
+        self.spec = spec
+        self.graph = nx.Graph()
+        self._build()
+
+    # -- construction ----------------------------------------------------------
+    def _build(self) -> None:
+        s = self.spec
+        g = self.graph
+        total_racks = s.racks_per_row * s.rows
+        g.add_node("core", kind="switch")
+        for row in range(s.rows):
+            row_sw = f"row:{row}"
+            g.add_node(row_sw, kind="switch")
+            g.add_edge(row_sw, "core", cable_m=s.inter_row_cable_m)
+        for rack in range(total_racks):
+            row = rack // s.racks_per_row
+            pos_in_row = rack % s.racks_per_row
+            tor = f"tor:{rack}"
+            g.add_node(tor, kind="switch")
+            g.add_edge(
+                tor,
+                f"row:{row}",
+                cable_m=s.inter_rack_cable_m * (pos_in_row + 1),
+            )
+            for i in range(s.hosts_per_rack):
+                host = f"host:{rack}:{i}"
+                g.add_node(host, kind="host")
+                g.add_edge(host, tor, cable_m=s.intra_rack_cable_m)
+        for rack in s.chassis_racks:
+            chassis = f"chassis:{rack}"
+            g.add_node(chassis, kind="chassis")
+            g.add_edge(chassis, f"tor:{rack}", cable_m=s.intra_rack_cable_m)
+
+    # -- queries ---------------------------------------------------------------
+    def hosts(self) -> List[str]:
+        """All host node names."""
+        return sorted(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "host"
+        )
+
+    def chassis(self) -> List[str]:
+        """All GPU chassis node names."""
+        return sorted(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "chassis"
+        )
+
+    def path(self, host: str, chassis: str) -> PathInfo:
+        """Resolve the shortest path and its slack.
+
+        Slack = 2 NIC traversals + hops * switch latency + fibre
+        time-of-flight over the path's total cable length (one-way),
+        matching the paper's Figure 1 decomposition.
+        """
+        if host not in self.graph:
+            raise KeyError(f"unknown host {host!r}")
+        if chassis not in self.graph:
+            raise KeyError(f"unknown chassis {chassis!r}")
+        nodes = nx.shortest_path(self.graph, host, chassis)
+        switch_hops = sum(
+            1 for n in nodes[1:-1] if self.graph.nodes[n]["kind"] == "switch"
+        )
+        cable_m = sum(
+            self.graph.edges[a, b]["cable_m"] for a, b in zip(nodes, nodes[1:])
+        )
+        slack = (
+            2 * self.spec.nic_latency_s
+            + switch_hops * self.spec.switch_hop_latency_s
+            + latency_for_fibre_distance(cable_m)
+        )
+        return PathInfo(
+            host=host,
+            chassis=chassis,
+            switch_hops=switch_hops,
+            cable_m=cable_m,
+            slack_s=slack,
+        )
+
+    def nearest_chassis(self, host: str) -> PathInfo:
+        """The minimum-slack chassis reachable from ``host``."""
+        paths = [self.path(host, c) for c in self.chassis()]
+        if not paths:
+            raise ValueError("fabric has no chassis")
+        return min(paths, key=lambda p: p.slack_s)
+
+    def worst_case_slack(self) -> float:
+        """Maximum slack over every host-chassis pair."""
+        return max(
+            self.path(h, c).slack_s for h in self.hosts() for c in self.chassis()
+        )
+
+    # -- degraded operation ---------------------------------------------------------
+    def path_with_failures(
+        self, host: str, chassis: str, failed: Sequence[str]
+    ) -> Optional[PathInfo]:
+        """The path (and slack) when fabric components are down.
+
+        ``failed`` lists switch/chassis node names removed from the
+        topology (e.g. ``["row:0"]``). Returns ``None`` if no path
+        survives — the composition must be re-placed on another
+        chassis. Slack over surviving detours quantifies degraded-mode
+        operation, a deployment question the paper's future work
+        raises.
+        """
+        for f in failed:
+            if f not in self.graph:
+                raise KeyError(f"unknown fabric component {f!r}")
+            if f == host or f == chassis:
+                return None
+        degraded = self.graph.copy()
+        degraded.remove_nodes_from(failed)
+        if host not in degraded or chassis not in degraded:
+            return None
+        try:
+            nodes = nx.shortest_path(degraded, host, chassis)
+        except nx.NetworkXNoPath:
+            return None
+        switch_hops = sum(
+            1 for n in nodes[1:-1] if degraded.nodes[n]["kind"] == "switch"
+        )
+        cable_m = sum(
+            degraded.edges[a, b]["cable_m"] for a, b in zip(nodes, nodes[1:])
+        )
+        slack = (
+            2 * self.spec.nic_latency_s
+            + switch_hops * self.spec.switch_hop_latency_s
+            + latency_for_fibre_distance(cable_m)
+        )
+        return PathInfo(host=host, chassis=chassis, switch_hops=switch_hops,
+                        cable_m=cable_m, slack_s=slack)
+
+    def survivable(
+        self, host: str, failed: Sequence[str]
+    ) -> List[PathInfo]:
+        """All chassis still reachable from ``host`` under failures."""
+        paths = []
+        for c in self.chassis():
+            p = self.path_with_failures(host, c, failed)
+            if p is not None:
+                paths.append(p)
+        return paths

@@ -1,0 +1,149 @@
+"""Slack sweeps over the proxy's parameter grid (paper Section IV-B).
+
+Runs the proxy at every (matrix size, thread count, slack) point of
+the paper's grid — matrix sizes 2^9..2^15 in steps of 2^2, slack
+1 us..10 ms in decades, threads {1, 2, 4, 8} — applies the Equation 1
+correction, and normalizes against the zero-slack baseline of the same
+configuration. The result is the slack response surface Figures 3(a-c)
+plot and the prediction model (Eq 2-3) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hw import OutOfMemoryError
+from ..network import SlackModel
+from .matmul import ProxyConfig, run_proxy
+
+__all__ = [
+    "PAPER_MATRIX_SIZES",
+    "PAPER_SLACK_VALUES_S",
+    "PAPER_THREAD_COUNTS",
+    "SweepPoint",
+    "SweepResult",
+    "run_slack_sweep",
+]
+
+#: The paper's matrix-size grid: 2^9 to 2^15 in multiples of 2^2.
+PAPER_MATRIX_SIZES: Tuple[int, ...] = (2**9, 2**11, 2**13, 2**15)
+
+#: The paper's slack grid: 1 us to 10 ms in decades.
+PAPER_SLACK_VALUES_S: Tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+
+#: OpenMP thread counts tested (4 collected but unplotted in the paper).
+PAPER_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of the slack response surface."""
+
+    matrix_size: int
+    threads: int
+    slack_s: float
+    loop_runtime_s: float
+    corrected_runtime_s: float
+    baseline_runtime_s: float
+    iterations: int
+    kernel_time_s: float
+
+    @property
+    def normalized_runtime(self) -> float:
+        """Equation-1-corrected runtime over the zero-slack baseline.
+
+        1.0 means slack costs nothing beyond the admissible network
+        delay; the paper's Figure 3 y-axis.
+        """
+        return self.corrected_runtime_s / self.baseline_runtime_s
+
+    @property
+    def penalty(self) -> float:
+        """Fractional starvation penalty (normalized runtime - 1)."""
+        return self.normalized_runtime - 1.0
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep, indexable by configuration."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+    skipped: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def add(self, point: SweepPoint) -> None:
+        """Record one measured point."""
+        self.points.append(point)
+
+    def get(self, matrix_size: int, threads: int, slack_s: float) -> SweepPoint:
+        """Exact lookup of one grid point."""
+        for p in self.points:
+            if (
+                p.matrix_size == matrix_size
+                and p.threads == threads
+                and abs(p.slack_s - slack_s) <= 1e-12 + 1e-9 * slack_s
+            ):
+                return p
+        raise KeyError((matrix_size, threads, slack_s))
+
+    def series(self, matrix_size: int, threads: int) -> List[SweepPoint]:
+        """All slack points of one (matrix size, threads) series."""
+        pts = [
+            p
+            for p in self.points
+            if p.matrix_size == matrix_size and p.threads == threads
+        ]
+        return sorted(pts, key=lambda p: p.slack_s)
+
+    def matrix_sizes(self) -> List[int]:
+        """Distinct matrix sizes measured."""
+        return sorted({p.matrix_size for p in self.points})
+
+    def thread_counts(self) -> List[int]:
+        """Distinct thread counts measured."""
+        return sorted({p.threads for p in self.points})
+
+
+def run_slack_sweep(
+    matrix_sizes: Sequence[int] = PAPER_MATRIX_SIZES,
+    slack_values_s: Sequence[float] = PAPER_SLACK_VALUES_S,
+    threads: Sequence[int] = (1,),
+    iterations: Optional[int] = None,
+    target_compute_s: float = 30.0,
+) -> SweepResult:
+    """Measure the slack response surface over a parameter grid.
+
+    Configurations whose matrices exceed device memory are skipped and
+    recorded in ``SweepResult.skipped`` (the paper's 2^15 exclusion
+    above 2 threads). ``iterations`` overrides auto-calibration (keeps
+    tests fast); ``target_compute_s`` shortens the calibration budget.
+    """
+    result = SweepResult()
+    for t in threads:
+        for n in matrix_sizes:
+            config = ProxyConfig(
+                matrix_size=n,
+                threads=t,
+                iterations=iterations,
+                target_compute_s=target_compute_s,
+            )
+            try:
+                baseline = run_proxy(config, SlackModel.none())
+            except OutOfMemoryError as exc:
+                result.skipped.append((n, t, str(exc)))
+                continue
+            for slack_s in slack_values_s:
+                run = run_proxy(config, SlackModel(slack_s))
+                result.add(
+                    SweepPoint(
+                        matrix_size=n,
+                        threads=t,
+                        slack_s=slack_s,
+                        loop_runtime_s=run.loop_runtime_s,
+                        corrected_runtime_s=run.corrected_runtime_s,
+                        baseline_runtime_s=baseline.loop_runtime_s,
+                        iterations=run.iterations,
+                        kernel_time_s=run.kernel_time_s,
+                    )
+                )
+    return result

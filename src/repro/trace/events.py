@@ -1,0 +1,123 @@
+"""Trace event records — the simulator's NSight-Systems analogue.
+
+The paper extracts two things from NSys traces: kernel durations and
+memcpy sizes (plus their timestamps, to infer queue parallelism).
+These records carry exactly those fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = ["EventKind", "CopyKind", "TraceEvent"]
+
+
+class EventKind(str, Enum):
+    """Categories of traced activity."""
+
+    KERNEL = "kernel"
+    MEMCPY = "memcpy"
+    API = "api"
+    SYNC = "sync"
+    SLACK = "slack"
+
+
+class CopyKind(str, Enum):
+    """Direction of a memcpy (matches CUDA's naming)."""
+
+    H2D = "HtoD"
+    D2H = "DtoH"
+    D2D = "DtoD"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced activity interval.
+
+    Attributes
+    ----------
+    kind:
+        What happened (kernel execution, memcpy, host API call...).
+    name:
+        Kernel or API symbol name, e.g. ``sgemm_128x128`` or
+        ``cudaMemcpyAsync``.
+    start / end:
+        Interval bounds in simulated seconds.
+    stream:
+        Device stream the activity ran on (None for host-side events).
+    nbytes:
+        Payload size for memcpys.
+    copy_kind:
+        Direction for memcpys.
+    correlation_id:
+        Joins the host API event to the device-side activity it
+        enqueued (same field NSys exposes).
+    thread:
+        Host thread (proxy OpenMP thread / MPI rank) that issued it.
+    meta:
+        Free-form extras (e.g. matrix size for proxy kernels).
+    """
+
+    kind: EventKind
+    name: str
+    start: float
+    end: float
+    stream: Optional[int] = None
+    nbytes: int = 0
+    copy_kind: Optional[CopyKind] = None
+    correlation_id: int = 0
+    thread: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"event {self.name!r} ends ({self.end}) before it starts "
+                f"({self.start})"
+            )
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.kind is EventKind.MEMCPY and self.copy_kind is None:
+            raise ValueError("memcpy events need a copy_kind")
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+    def overlaps(self, other: "TraceEvent") -> bool:
+        """Whether two intervals overlap in time (open intervals)."""
+        return self.start < other.end and other.start < self.end
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON export."""
+        return {
+            "kind": self.kind.value,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "stream": self.stream,
+            "nbytes": self.nbytes,
+            "copy_kind": self.copy_kind.value if self.copy_kind else None,
+            "correlation_id": self.correlation_id,
+            "thread": self.thread,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=EventKind(data["kind"]),
+            name=data["name"],
+            start=float(data["start"]),
+            end=float(data["end"]),
+            stream=data.get("stream"),
+            nbytes=int(data.get("nbytes", 0)),
+            copy_kind=CopyKind(data["copy_kind"]) if data.get("copy_kind") else None,
+            correlation_id=int(data.get("correlation_id", 0)),
+            thread=int(data.get("thread", 0)),
+            meta=dict(data.get("meta", {})),
+        )

@@ -1,0 +1,120 @@
+"""Timeline analysis: device idle gaps and utilization from traces.
+
+Slack hurts by *uncovering* idle gaps the GPU's work queue normally
+hides. This module extracts exactly that quantity from a trace: the
+gaps between consecutive device activities (kernels + memcpys), their
+distribution, and a windowed utilization series — the evidence one
+reads off an NSys timeline when diagnosing a starved GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .container import Trace
+from .events import EventKind
+
+__all__ = ["GapAnalysis", "device_gaps", "utilization_series"]
+
+
+@dataclass(frozen=True)
+class GapAnalysis:
+    """Summary of the idle gaps between device activities."""
+
+    gaps: Tuple[float, ...]
+    busy_time: float
+    span: float
+
+    @property
+    def count(self) -> int:
+        """Number of inter-activity gaps."""
+        return len(self.gaps)
+
+    @property
+    def total_gap_time(self) -> float:
+        """Summed idle-gap time."""
+        return float(sum(self.gaps))
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean gap length (0 if there are none)."""
+        return self.total_gap_time / self.count if self.gaps else 0.0
+
+    @property
+    def max_gap(self) -> float:
+        """Longest single gap."""
+        return max(self.gaps) if self.gaps else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Device-busy fraction over the trace span."""
+        return self.busy_time / self.span if self.span > 0 else 0.0
+
+    def gaps_exceeding(self, threshold_s: float) -> int:
+        """Gaps longer than ``threshold_s`` (starvation candidates)."""
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be non-negative")
+        return sum(1 for g in self.gaps if g > threshold_s)
+
+
+def device_gaps(trace: Trace, min_gap_s: float = 0.0) -> GapAnalysis:
+    """Extract the idle gaps between consecutive device activities.
+
+    Device activity = kernel executions plus memcpys. Gaps shorter
+    than ``min_gap_s`` are ignored (sub-resolution turnaround).
+    """
+    if min_gap_s < 0:
+        raise ValueError("min_gap_s must be non-negative")
+    device = trace.filter(
+        lambda e: e.kind in (EventKind.KERNEL, EventKind.MEMCPY)
+    )
+    if len(device) == 0:
+        raise ValueError("trace has no device activity")
+    gaps: List[float] = []
+    busy = 0.0
+    cur_start, cur_end = device[0].start, device[0].end
+    for e in list(device)[1:]:
+        if e.start > cur_end:
+            gap = e.start - cur_end
+            if gap > min_gap_s:
+                gaps.append(gap)
+            busy += cur_end - cur_start
+            cur_start, cur_end = e.start, e.end
+        else:
+            cur_end = max(cur_end, e.end)
+    busy += cur_end - cur_start
+    return GapAnalysis(gaps=tuple(gaps), busy_time=busy, span=device.span)
+
+
+def utilization_series(
+    trace: Trace, window_s: float, kind: Optional[EventKind] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Windowed device utilization over the trace.
+
+    Returns ``(window_centres, busy_fraction)``. ``kind`` restricts to
+    one activity type (e.g. only kernels).
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    selected = trace.filter(
+        lambda e: e.kind in (EventKind.KERNEL, EventKind.MEMCPY)
+        if kind is None
+        else e.kind is kind
+    )
+    if len(selected) == 0:
+        raise ValueError("no matching activity in trace")
+    start, end = selected.start, selected.end
+    n_windows = max(1, int(np.ceil((end - start) / window_s)))
+    busy = np.zeros(n_windows)
+    for e in selected:
+        first = int((e.start - start) / window_s)
+        last = int(min((e.end - start) / window_s, n_windows - 1))
+        for w in range(first, last + 1):
+            w_start = start + w * window_s
+            w_end = w_start + window_s
+            busy[w] += max(0.0, min(e.end, w_end) - max(e.start, w_start))
+    centres = start + (np.arange(n_windows) + 0.5) * window_s
+    return centres, np.minimum(1.0, busy / window_s)

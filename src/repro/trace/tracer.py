@@ -1,0 +1,95 @@
+"""The Tracer: records simulator activity into a :class:`Trace`.
+
+Plays the role NSight Systems plays in the paper: it observes the
+CUDA-like runtime from outside (no application-source knowledge) and
+records kernel executions, memcpys, API calls and injected slack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from ..des import Environment
+from .container import Trace
+from .events import CopyKind, EventKind, TraceEvent
+
+__all__ = ["Tracer", "NullTracer"]
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from a running simulation.
+
+    The runtime calls :meth:`record` (or the :meth:`interval` context
+    manager) as activity completes. ``enabled`` can be toggled to
+    bracket the traced region, mirroring profiler capture windows.
+    """
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.trace = Trace(name=name)
+        self.enabled = True
+        self._correlation = itertools.count(1)
+
+    def next_correlation_id(self) -> int:
+        """A fresh correlation id joining API call and device activity."""
+        return next(self._correlation)
+
+    def record(
+        self,
+        kind: EventKind,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        stream: Optional[int] = None,
+        nbytes: int = 0,
+        copy_kind: Optional[CopyKind] = None,
+        correlation_id: int = 0,
+        thread: int = 0,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Optional[TraceEvent]:
+        """Append a completed interval to the trace (if enabled)."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            kind=kind,
+            name=name,
+            start=start,
+            end=end,
+            stream=stream,
+            nbytes=nbytes,
+            copy_kind=copy_kind,
+            correlation_id=correlation_id,
+            thread=thread,
+            meta=meta or {},
+        )
+        self.trace.append(event)
+        return event
+
+    @contextmanager
+    def interval(
+        self,
+        kind: EventKind,
+        name: str,
+        **kwargs: Any,
+    ) -> Iterator[None]:
+        """Record an interval spanning the with-block's simulated time.
+
+        Only valid when simulated time can advance inside the block
+        (i.e. within a process that yields).
+        """
+        start = self.env.now
+        try:
+            yield
+        finally:
+            self.record(kind, name, start, self.env.now, **kwargs)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (profiling disabled)."""
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env, name="null")
+        self.enabled = False

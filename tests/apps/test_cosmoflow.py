@@ -1,0 +1,170 @@
+"""Tests for the CosmoFlow workload model: layers, net, traced training."""
+
+import pytest
+
+from repro.apps.cosmoflow import (
+    COSMOFLOW_REQUIRED_CORES,
+    CONV_CHANNELS,
+    CosmoFlowNet,
+    CosmoFlowProfileConfig,
+    cosmoflow_cpu_runtime,
+    cosmoflow_layers,
+    profile_cosmoflow,
+)
+from repro.hw import A100_SXM4_40GB, MiB
+
+
+class TestLayers:
+    def test_five_conv_blocks_three_dense(self):
+        convs, denses = cosmoflow_layers()
+        assert len(convs) == 5
+        assert len(denses) == 3
+
+    def test_channel_progression(self):
+        convs, _ = cosmoflow_layers()
+        assert tuple(c.out_channels for c in convs) == CONV_CHANNELS
+        assert convs[0].in_channels == 4
+
+    def test_spatial_halving(self):
+        convs, _ = cosmoflow_layers()
+        assert [c.spatial for c in convs] == [128, 64, 32, 16, 8]
+
+    def test_dense_flattened_input(self):
+        _, denses = cosmoflow_layers()
+        # After 5 pools: 4^3 voxels x 512 channels.
+        assert denses[0].in_features == 512 * 4**3
+        assert denses[-1].out_features == 4
+
+    def test_conv_flops_scale_with_batch(self):
+        convs, _ = cosmoflow_layers()
+        assert convs[0].forward_flops(8) == 2 * convs[0].forward_flops(4)
+
+    def test_forward_kernels_per_block(self):
+        convs, _ = cosmoflow_layers()
+        names = [k.name for k in convs[0].forward_kernels(4)]
+        assert names == ["conv1_fprop", "leaky_relu1", "maxpool1"]
+
+    def test_backward_has_dgrad_and_wgrad(self):
+        convs, _ = cosmoflow_layers()
+        names = [k.name for k in convs[2].backward_kernels(4)]
+        assert "conv3_dgrad" in names
+        assert "conv3_wgrad" in names
+
+
+class TestCosmoFlowNet:
+    @pytest.fixture
+    def net(self):
+        return CosmoFlowNet(batch_size=4)
+
+    def test_parameter_count_magnitude(self, net):
+        # ~9M parameters for the standard CosmoFlow network.
+        assert 5e6 < net.parameter_count() < 15e6
+
+    def test_sample_bytes(self, net):
+        # 128^3 voxels x 4 channels x float32 = 32 MiB.
+        assert net.sample_bytes() == 32 * MiB
+
+    def test_training_step_has_dozens_of_kernels(self, net):
+        # The paper: CosmoFlow "executes dozens of different" kernels.
+        kernels = net.training_step_kernels()
+        assert 30 <= len(kernels) <= 80
+
+    def test_validation_step_is_forward_only(self, net):
+        assert len(net.validation_step_kernels()) < len(
+            net.training_step_kernels()
+        )
+        assert not any(
+            "grad" in k.name for k in net.validation_step_kernels()
+        )
+
+    def test_top5_kernels_near_half_of_runtime(self, net):
+        # Paper: the top five kernels account for 49.9% of runtime.
+        from collections import defaultdict
+
+        totals = defaultdict(float)
+        for k in net.training_step_kernels():
+            totals[k.name] += k.execution_time(A100_SXM4_40GB)
+        ordered = sorted(totals.values(), reverse=True)
+        share = sum(ordered[:5]) / sum(ordered)
+        assert 0.40 <= share <= 0.65
+
+    def test_step_gpu_seconds_order_of_magnitude(self, net):
+        # Batch-4 training step on an A100: ~100-200 ms.
+        t = net.step_gpu_seconds(A100_SXM4_40GB)
+        assert 0.05 < t < 0.5
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            CosmoFlowNet(batch_size=0)
+
+
+class TestProfileConfig:
+    def test_step_counts_mini_dataset(self):
+        cfg = CosmoFlowProfileConfig()
+        # 5 epochs x 1024/4 = 1280 steps each for train and val.
+        assert cfg.train_steps == 1280
+        assert cfg.val_steps == 1280
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosmoFlowProfileConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            CosmoFlowProfileConfig(prefetch_batches=0)
+
+
+class TestProfileCosmoflow:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_cosmoflow(
+            CosmoFlowProfileConfig(epochs=1, train_samples=128, val_samples=64)
+        )
+
+    def test_pessimistic_parallelism_is_4(self, profile):
+        assert profile.queue_parallelism == 4
+
+    def test_gpu_dominant(self, profile):
+        frac = profile.trace.kernels().runtime_fraction(profile.runtime_s)
+        assert frac > 0.5
+
+    def test_kernel_variety(self, profile):
+        names = set(e.name for e in profile.trace.kernels())
+        assert len(names) >= 30
+
+    def test_memcpy_size_spectrum(self, profile):
+        sizes = profile.trace.memcpys().sizes() / MiB
+        # Small per-step copies dominate by count...
+        assert (sizes <= 1).sum() > len(sizes) * 0.5
+        # ...large prefetch staging transfers dominate by volume.
+        assert sizes.max() > 256
+
+    def test_mean_transfer_size_near_paper(self, profile):
+        # Paper Table III: CosmoFlow mean 34.4 MiB.
+        mean = profile.trace.memcpys().sizes().mean() / MiB
+        assert 15 < mean < 60
+
+    def test_small_copies_per_step_rate(self, profile):
+        sizes = profile.trace.memcpys().sizes() / MiB
+        steps = 128 // 4 + 64 // 4
+        small_per_step = (sizes <= 1).sum() / steps
+        assert 1.0 <= small_per_step <= 4.0
+
+
+class TestCpuScaling:
+    def test_flat_above_two_cores(self):
+        # Paper: "absolutely no benefits from increasing the number of
+        # processes or threads".
+        cfg = CosmoFlowProfileConfig(epochs=1)
+        base = cosmoflow_cpu_runtime(2, cfg)
+        for cores in (4, 8, 24, 48):
+            assert cosmoflow_cpu_runtime(cores, cfg) == pytest.approx(base)
+
+    def test_degrades_below_two_cores(self):
+        cfg = CosmoFlowProfileConfig(epochs=1)
+        assert cosmoflow_cpu_runtime(1, cfg) > cosmoflow_cpu_runtime(2, cfg)
+
+    def test_required_cores_constant(self):
+        assert COSMOFLOW_REQUIRED_CORES == 2
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            cosmoflow_cpu_runtime(0)

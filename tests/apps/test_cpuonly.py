@@ -1,0 +1,56 @@
+"""Tests for the CPU-only application category."""
+
+import pytest
+
+from repro.apps import CpuOnlyApp, trapped_gpu_analysis
+
+
+class TestCpuOnlyApp:
+    def test_strong_scaling_shape(self):
+        app = CpuOnlyApp(serial_s=10, parallel_s=1000, halo_per_rank_s=0.4)
+        t1 = app.runtime(1)
+        t8 = app.runtime(8)
+        assert t8 < t1
+        # Amdahl floor: never below the serial fraction.
+        assert app.runtime(10_000) > app.serial_s
+
+    def test_halo_penalizes_over_decomposition(self):
+        app = CpuOnlyApp(serial_s=1, parallel_s=10, halo_per_rank_s=5.0)
+        assert app.runtime(16) > app.runtime(2)
+
+    def test_best_core_count(self):
+        app = CpuOnlyApp(serial_s=10, parallel_s=1000, halo_per_rank_s=0.4)
+        best = app.best_core_count()
+        assert app.runtime(best) <= min(
+            app.runtime(c) for c in (1, 2, 4, 8, 16, 24, 48)
+        )
+
+    def test_request_has_zero_gpus(self):
+        req = CpuOnlyApp().request()
+        assert req.gpus == 0
+        assert req.cores > 0
+        assert CpuOnlyApp().request(cores=12).cores == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuOnlyApp(serial_s=-1)
+        with pytest.raises(ValueError):
+            CpuOnlyApp().runtime(0)
+
+
+class TestTrappedGpuAnalysis:
+    def test_traditional_traps_gpus_cdi_does_not(self):
+        trad, cdi = trapped_gpu_analysis(cpu_jobs=8)
+        # 8 whole-node CPU jobs trap 8 x 4 GPUs.
+        assert trad.trapped_gpus == 32
+        assert cdi.trapped_gpus == 0
+        assert len(cdi.rejected) == 0
+
+    def test_trapping_scales_with_job_count(self):
+        trad4, _ = trapped_gpu_analysis(cpu_jobs=4)
+        trad8, _ = trapped_gpu_analysis(cpu_jobs=8)
+        assert trad8.trapped_gpus == 2 * trad4.trapped_gpus
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trapped_gpu_analysis(cpu_jobs=0)

@@ -1,0 +1,200 @@
+"""Tests for the LAMMPS workload model: LJ sizing, scaling, profiling."""
+
+import pytest
+
+from repro.apps.lammps import (
+    LJParams,
+    LammpsProfileConfig,
+    LammpsScalingModel,
+    PAPER_BOX_SIZES,
+    profile_lammps,
+)
+from repro.hw import MiB
+
+
+class TestLJParams:
+    def test_default_box_atom_count(self):
+        assert LJParams(20).atoms == 32_000
+
+    def test_cubic_scaling(self):
+        # Table I: box 80 -> 2,048k; box 100 -> 4,000k; box 120 -> 6,912k.
+        assert LJParams(80).atoms == 2_048_000
+        assert LJParams(100).atoms == 4_000_000
+        assert LJParams(120).atoms == 6_912_000
+
+    def test_box60_uses_cubic_rule(self):
+        # 3^3 x 32k (the paper's Table I lists 288k, an internal typo —
+        # see EXPERIMENTS.md).
+        assert LJParams(60).atoms == 864_000
+
+    def test_atoms_per_process(self):
+        assert LJParams(120).atoms_per_process(8) == pytest.approx(864_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LJParams(0)
+        with pytest.raises(ValueError):
+            LJParams(25)  # not a multiple of the unit box
+        with pytest.raises(ValueError):
+            LJParams(20, steps=0)
+        with pytest.raises(ValueError):
+            LJParams(20).atoms_per_process(0)
+
+
+class TestScalingModel:
+    @pytest.fixture
+    def model(self):
+        return LammpsScalingModel()
+
+    # Table I anchors (paper values; box 60 carries the paper's typo
+    # and its measured runtime is ~6% off the linear trend).
+    @pytest.mark.parametrize(
+        "box,paper_runtime,tol",
+        [(20, 5.473, 0.02), (60, 66.523, 0.07), (80, 160.703, 0.02),
+         (100, 312.185, 0.02), (120, 541.452, 0.02)],
+    )
+    def test_table1_runtimes(self, model, box, paper_runtime, tol):
+        t = model.runtime(LJParams(box))
+        assert t == pytest.approx(paper_runtime, rel=tol)
+
+    def test_box60_sees_17pct_gain_at_8_procs(self, model):
+        # Paper: "8 processes seeing a decrease in runtime of 17.2%".
+        r = model.normalized_runtime(LJParams(60), 8)
+        assert r == pytest.approx(0.828, abs=0.02)
+
+    def test_box120_sees_56pct_gain_at_24_procs(self, model):
+        # Paper: "-55.6% at 24 processes".
+        r = model.normalized_runtime(LJParams(120), 24)
+        assert r == pytest.approx(0.444, abs=0.03)
+
+    def test_box120_diminishing_after_16(self, model):
+        r16 = model.normalized_runtime(LJParams(120), 16)
+        r24 = model.normalized_runtime(LJParams(120), 24)
+        assert abs(r24 - r16) < 0.05
+
+    def test_box20_degrades_with_procs(self, model):
+        # Small problem: comm overhead beats parallel speedup.
+        series = [model.normalized_runtime(LJParams(20), p)
+                  for p in (1, 2, 4, 8, 16, 24)]
+        assert all(b > a for a, b in zip(series, series[1:]))
+        assert series[-1] > 5.0
+
+    def test_openmp_gain_box120(self, model):
+        # Paper: -52.3% at 6 threads vs 1 (8 procs), aggregate -76.4%.
+        p = LJParams(120)
+        romp = model.runtime(p, 8, 6) / model.runtime(p, 8, 1)
+        agg = model.runtime(p, 8, 6) / model.runtime(p, 1, 1)
+        assert romp == pytest.approx(0.477, abs=0.03)
+        assert agg == pytest.approx(0.236, abs=0.03)
+
+    def test_larger_boxes_need_more_cpu(self, model):
+        # The paper's general trend: bigger problems benefit from more
+        # processes; best process count grows with box size.
+        best20 = model.best_process_count(LJParams(20))
+        best120 = model.best_process_count(LJParams(120))
+        assert best20 == 1
+        assert best120 >= 8
+
+    def test_box200_benefits_from_48_cores(self, model):
+        # Paper: box 200 (GPU memory saturated) still gains from 48
+        # cores over 24.
+        p = LJParams(200)
+        t48 = model.runtime(p, 24, 2)
+        t24 = model.runtime(p, 12, 2)
+        assert t48 < t24
+
+    def test_steps_scale_work_linearly(self, model):
+        short = model.runtime(LJParams(120, steps=500))
+        full = model.runtime(LJParams(120, steps=5000))
+        assert (full - model.setup_s) == pytest.approx(
+            10 * (short - model.setup_s)
+        )
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.runtime(LJParams(20), processes=0)
+        with pytest.raises(ValueError):
+            model.thread_efficiency(0)
+        with pytest.raises(ValueError):
+            LammpsScalingModel(cpu_fraction=1.5)
+
+
+class TestLammpsProfiling:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_lammps(
+            LammpsProfileConfig(params=LJParams(120, steps=100))
+        )
+
+    def test_queue_parallelism_is_process_count(self, profile):
+        assert profile.queue_parallelism == 8
+
+    def test_kernel_count(self, profile):
+        # Per step per rank: pair kernel; plus neighbour builds every
+        # 17 steps: 100 steps -> 6 builds per rank.
+        kernels = profile.trace.kernels()
+        assert len(kernels) == 8 * (100 + 6)
+
+    def test_memcpy_counts_and_directions(self, profile):
+        copies = profile.trace.memcpys()
+        # positions H2D + forces D2H per rank-step, + neighbour H2D.
+        assert len(copies) == 8 * (2 * 100 + 6)
+        from repro.trace import CopyKind
+
+        h2d = profile.trace.memcpys(CopyKind.H2D)
+        d2h = profile.trace.memcpys(CopyKind.D2H)
+        assert len(h2d) == 8 * (100 + 6)
+        assert len(d2h) == 8 * 100
+
+    def test_transfer_sizes_match_table3_bins(self, profile):
+        # Box 120 / 8 ranks: positions ~9.9 MiB -> (1,16] bin, forces
+        # ~19.8 MiB -> (16,256] bin, neighbour metadata < 1 MiB.
+        sizes = profile.trace.memcpys().sizes() / MiB
+        small = (sizes <= 1).sum()
+        mid = ((sizes > 1) & (sizes <= 16)).sum()
+        large = ((sizes > 16) & (sizes <= 256)).sum()
+        assert small == 8 * 6
+        assert mid == 8 * 100
+        assert large == 8 * 100
+        assert sizes.max() < 256
+
+    def test_mean_transfer_size_near_paper(self, profile):
+        # Paper Table III: LAMMPS mean 16.85 MiB.
+        mean = profile.trace.memcpys().sizes().mean() / MiB
+        assert 10 < mean < 20
+
+    def test_cpu_heavy_gpu_utilization(self, profile):
+        # LAMMPS is CPU-dominant: GPU kernels cover a minority of the
+        # runtime.
+        frac = profile.trace.kernels().runtime_fraction(profile.runtime_s)
+        assert frac < 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LammpsProfileConfig(processes=0)
+        with pytest.raises(ValueError):
+            LammpsProfileConfig(jitter=1.5)
+        with pytest.raises(ValueError):
+            LammpsProfileConfig(neighbor_every=0)
+
+
+class TestGpuMemoryFootprint:
+    def test_box_200_saturates_a100(self):
+        # Paper: "an additional test was run at a box size of 200 as
+        # this saturated the GPU's memory".
+        p200 = LJParams(200)
+        assert p200.fits_gpu()
+        assert p200.gpu_memory_bytes() > 0.9 * 40 * 1024**3
+
+    def test_next_box_up_does_not_fit(self):
+        assert not LJParams(220).fits_gpu()
+
+    def test_paper_sweep_boxes_fit_comfortably(self):
+        from repro.apps.lammps import PAPER_BOX_SIZES
+
+        for box in PAPER_BOX_SIZES:
+            assert LJParams(box).gpu_memory_bytes() < 0.25 * 40 * 1024**3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LJParams(120).gpu_memory_bytes(bytes_per_atom=0)

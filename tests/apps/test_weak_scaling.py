@@ -1,0 +1,75 @@
+"""Tests for the weak-scaling projection from the strong-scaling unit."""
+
+import pytest
+
+from repro.apps.lammps import (
+    BasicUnit,
+    LammpsScalingModel,
+    find_basic_unit,
+    project_weak_scaling,
+)
+
+
+class TestFindBasicUnit:
+    def test_box120_wants_the_whole_cpu_complement(self):
+        # The paper's conclusion: LAMMPS at production sizes benefits
+        # from far more cores per GPU than the node's 12.
+        unit = find_basic_unit(120)
+        assert unit.cores > 12
+        assert unit.cores_per_gpu == unit.cores
+
+    def test_small_box_wants_few_cores(self):
+        unit = find_basic_unit(20)
+        assert unit.cores <= 4
+
+    def test_unit_is_optimal_among_candidates(self):
+        model = LammpsScalingModel()
+        unit = find_basic_unit(120, model=model)
+        from repro.apps.lammps import LJParams
+
+        candidates = [(1, 1), (8, 1), (8, 6), (24, 2)]
+        best_t = min(
+            model.runtime(LJParams(120), p, t) for p, t in candidates
+        )
+        assert unit.runtime_s <= best_t + 1e-9
+
+
+class TestProjectWeakScaling:
+    @pytest.fixture(scope="class")
+    def unit(self):
+        return find_basic_unit(120)
+
+    def test_cdi_faster_at_every_scale(self, unit):
+        for p in project_weak_scaling(unit):
+            assert p.cdi_advantage > 1.0
+
+    def test_atoms_grow_with_gpus(self, unit):
+        projections = project_weak_scaling(unit, gpu_counts=(1, 4, 16))
+        atoms = [p.total_atoms for p in projections]
+        assert atoms[1] == 4 * atoms[0]
+        assert atoms[2] == 16 * atoms[0]
+
+    def test_traditional_cores_capped_by_node_shape(self, unit):
+        projections = project_weak_scaling(
+            unit, gpu_counts=(4,), cores_per_node=48, gpus_per_node=4
+        )
+        assert projections[0].traditional_cores == 12 * 4
+
+    def test_slack_grows_with_deployment_scale(self, unit):
+        projections = project_weak_scaling(unit, gpu_counts=(1, 64))
+        assert projections[-1].slack_s >= projections[0].slack_s
+
+    def test_slack_penalty_inflates_cdi_runtime(self, unit):
+        no_pen = project_weak_scaling(unit, gpu_counts=(16,))[0]
+        with_pen = project_weak_scaling(
+            unit, gpu_counts=(16,), slack_penalty_per_second=1e4
+        )[0]
+        assert with_pen.cdi_runtime_s > no_pen.cdi_runtime_s
+        # At realistic (tiny) penalties the advantage persists.
+        assert with_pen.cdi_advantage > 1.0
+
+    def test_validation(self, unit):
+        with pytest.raises(ValueError):
+            project_weak_scaling(unit, gpu_counts=(0,))
+        with pytest.raises(ValueError):
+            project_weak_scaling(unit, slack_penalty_per_second=-1)

@@ -1,0 +1,60 @@
+"""Tests for the trapped-resource power model."""
+
+import pytest
+
+from repro.cdi import (
+    JobPlacement,
+    JobRequest,
+    PowerModel,
+    ScheduleOutcome,
+    compare_power,
+    discussion_example,
+)
+
+
+def outcome_with(trapped_cores=0, trapped_gpus=0):
+    o = ScheduleOutcome()
+    o.placements.append(
+        JobPlacement(
+            job=JobRequest("j", cores=1, gpus=1),
+            granted_cores=1 + trapped_cores,
+            granted_gpus=1 + trapped_gpus,
+            trapped_cores=trapped_cores,
+            trapped_gpus=trapped_gpus,
+        )
+    )
+    return o
+
+
+class TestPowerModel:
+    def test_trapped_power_sums_components(self):
+        model = PowerModel(gpu_idle_w=50, core_idle_w=2)
+        o = outcome_with(trapped_cores=10, trapped_gpus=3)
+        assert model.trapped_power_w(o) == pytest.approx(3 * 50 + 10 * 2)
+
+    def test_nothing_trapped_no_power(self):
+        assert PowerModel().trapped_power_w(outcome_with()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(gpu_idle_w=-1)
+
+
+class TestComparePower:
+    def test_discussion_example_savings(self):
+        cmp_sched = discussion_example()
+        power = compare_power(cmp_sched.traditional, cmp_sched.cdi)
+        # CDI traps nothing; traditional burns idle power on the
+        # trapped cores of both placements.
+        assert power.cdi_w == 0.0
+        assert power.traditional_w > 0
+        assert power.saved_w == power.traditional_w
+
+    def test_saved_kwh_over_duration(self):
+        power = compare_power(
+            outcome_with(trapped_gpus=4), outcome_with()
+        )
+        kwh = power.saved_kwh(hours=10)
+        assert kwh == pytest.approx(4 * 55.0 * 10 / 1000.0)
+        with pytest.raises(ValueError):
+            power.saved_kwh(-1)

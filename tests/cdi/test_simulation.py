@@ -1,0 +1,158 @@
+"""Tests for the fleet-level scheduling simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cdi import (
+    ClusterSpec,
+    SimJob,
+    compare_throughput,
+    simulate_cdi,
+    simulate_traditional,
+    synthetic_job_mix,
+)
+
+
+def job(name="j", arrival=0.0, duration=3600.0, cores=24, gpus=2):
+    return SimJob(name=name, arrival_s=arrival, duration_s=duration,
+                  cores=cores, gpus=gpus)
+
+
+class TestSimJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimJob("j", arrival_s=-1, duration_s=1, cores=1, gpus=0)
+        with pytest.raises(ValueError):
+            SimJob("j", arrival_s=0, duration_s=0, cores=1, gpus=0)
+        with pytest.raises(ValueError):
+            SimJob("j", arrival_s=0, duration_s=1, cores=0, gpus=0)
+
+
+class TestClusterSpec:
+    def test_totals(self):
+        c = ClusterSpec(nodes=4, cores_per_node=48, gpus_per_node=4)
+        assert c.total_cores == 192
+        assert c.total_gpus == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+
+
+class TestSingleJob:
+    def test_immediate_start_when_empty(self):
+        for sim in (simulate_traditional, simulate_cdi):
+            m = sim([job()], ClusterSpec(nodes=4))
+            assert len(m.jobs) == 1
+            assert m.jobs[0].wait_s == 0.0
+            assert m.makespan_s == pytest.approx(3600.0)
+
+    def test_oversized_job_rejected(self):
+        tiny = ClusterSpec(nodes=1, cores_per_node=4, gpus_per_node=1)
+        with pytest.raises(ValueError):
+            simulate_traditional([job(cores=1000)], tiny)
+        with pytest.raises(ValueError):
+            simulate_cdi([job(cores=1000)], tiny)
+
+
+class TestTrappedResources:
+    def test_traditional_traps_gpus(self):
+        # A 24-core, 0-GPU job takes half a node... i.e. one node with
+        # its 4 GPUs idle-held.
+        m = simulate_traditional(
+            [job(cores=24, gpus=0)], ClusterSpec(nodes=4)
+        )
+        assert m.trapped_gpu_s == pytest.approx(4 * 3600.0)
+
+    def test_cdi_traps_nothing(self):
+        m = simulate_cdi([job(cores=24, gpus=0)], ClusterSpec(nodes=4))
+        assert m.trapped_gpu_s == 0.0
+
+
+class TestContention:
+    def test_traditional_serializes_node_hogs(self):
+        # Two jobs that each need all nodes' cores: strictly serial.
+        cluster = ClusterSpec(nodes=2, cores_per_node=48)
+        jobs = [
+            job(name="a", cores=96, gpus=0, duration=100.0),
+            job(name="b", cores=96, gpus=0, duration=100.0),
+        ]
+        m = simulate_traditional(jobs, cluster)
+        assert m.makespan_s == pytest.approx(200.0)
+
+    def test_cdi_packs_fractional_jobs(self):
+        # Four 24-core jobs fit 2x48-core nodes simultaneously under
+        # CDI but serialize two-deep as whole nodes.
+        cluster = ClusterSpec(nodes=2, cores_per_node=48, gpus_per_node=0)
+        jobs = [job(name=f"j{i}", cores=24, gpus=0, duration=100.0)
+                for i in range(4)]
+        trad = simulate_traditional(jobs, cluster)
+        cdi = simulate_cdi(jobs, cluster)
+        assert cdi.makespan_s == pytest.approx(100.0)
+        assert trad.makespan_s == pytest.approx(200.0)
+
+    def test_wait_time_measured(self):
+        cluster = ClusterSpec(nodes=1, cores_per_node=48)
+        jobs = [
+            job(name="first", cores=48, gpus=0, duration=100.0),
+            job(name="second", arrival=10.0, cores=48, gpus=0,
+                duration=50.0),
+        ]
+        m = simulate_traditional(jobs, cluster)
+        second = next(j for j in m.jobs if j.name == "second")
+        assert second.wait_s == pytest.approx(90.0)
+
+
+class TestSyntheticMix:
+    def test_job_count_and_ordering(self):
+        jobs = synthetic_job_mix(50, np.random.default_rng(1))
+        assert len(jobs) == 50
+        arrivals = [j.arrival_s for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_archetypes_present(self):
+        jobs = synthetic_job_mix(200, np.random.default_rng(1))
+        names = [j.name.split("-")[0] for j in jobs]
+        assert {"cpuheavy", "gpuheavy", "cpuonly"} <= set(names)
+        assert all(j.gpus == 0 for j in jobs if j.name.startswith("cpuonly"))
+
+    def test_jobs_fit_cluster(self):
+        cluster = ClusterSpec()
+        for j in synthetic_job_mix(100, np.random.default_rng(3),
+                                   cluster=cluster):
+            assert j.cores <= cluster.total_cores
+            assert j.gpus <= cluster.total_gpus
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_job_mix(0)
+
+
+class TestThroughputComparison:
+    """The paper's introduction claim, measured on a job stream."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        jobs = synthetic_job_mix(120, np.random.default_rng(7))
+        return compare_throughput(jobs)
+
+    def test_cdi_improves_time_to_solution(self, outcome):
+        trad, cdi = outcome
+        assert cdi.makespan_s < trad.makespan_s
+
+    def test_cdi_reduces_waits(self, outcome):
+        trad, cdi = outcome
+        assert cdi.mean_wait_s < 0.5 * trad.mean_wait_s
+
+    def test_cdi_raises_gpu_utilization(self, outcome):
+        trad, cdi = outcome
+        assert cdi.gpu_utilization > trad.gpu_utilization
+
+    def test_cdi_eliminates_trapped_gpu_hours(self, outcome):
+        trad, cdi = outcome
+        assert trad.trapped_gpu_hours > 100
+        assert cdi.trapped_gpu_hours == 0.0
+
+    def test_all_jobs_complete_in_both(self, outcome):
+        trad, cdi = outcome
+        assert len(trad.jobs) == len(cdi.jobs) == 120

@@ -1,0 +1,85 @@
+"""Unit tests for the cyclic Barrier primitive."""
+
+import pytest
+
+from repro.des import Barrier, Environment
+
+
+class TestBarrier:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Barrier(env, parties=0)
+
+    def test_single_party_never_blocks(self):
+        env = Environment()
+        barrier = Barrier(env, parties=1)
+        times = []
+
+        def proc(env):
+            yield env.timeout(5.0)
+            yield barrier.wait()
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [5.0]
+
+    def test_all_parties_released_together(self):
+        env = Environment()
+        barrier = Barrier(env, parties=3)
+        releases = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            yield barrier.wait()
+            releases.append((env.now, delay))
+
+        for d in (1.0, 5.0, 3.0):
+            env.process(proc(env, d))
+        env.run()
+        # Everyone released at the last arrival (t=5).
+        assert [t for t, _ in releases] == [5.0, 5.0, 5.0]
+        assert barrier.cycles_completed == 1
+
+    def test_cyclic_reuse(self):
+        env = Environment()
+        barrier = Barrier(env, parties=2)
+        log = []
+
+        def proc(env, name, delays):
+            for d in delays:
+                yield env.timeout(d)
+                cycle = yield barrier.wait()
+                log.append((name, env.now, cycle))
+
+        env.process(proc(env, "a", [1.0, 1.0]))
+        env.process(proc(env, "b", [2.0, 2.0]))
+        env.run()
+        assert barrier.cycles_completed == 2
+        # First cycle completes at t=2, second at t=4.
+        cycle1 = [entry for entry in log if entry[2] == 1]
+        cycle2 = [entry for entry in log if entry[2] == 2]
+        assert all(t == 2.0 for _, t, _ in cycle1)
+        assert all(t == 4.0 for _, t, _ in cycle2)
+
+    def test_waiting_count(self):
+        env = Environment()
+        barrier = Barrier(env, parties=3)
+        observed = []
+
+        def waiter(env):
+            yield barrier.wait()
+
+        def observer(env):
+            yield env.timeout(1.0)
+            observed.append(barrier.waiting)
+            env.process(waiter(env))  # third party
+            env.process(waiter(env))  # overflow into next cycle? no: 2 waiting + 1 = release
+            yield env.timeout(1.0)
+
+        env.process(waiter(env))
+        env.process(waiter(env))
+        env.process(observer(env))
+        env.run()
+        assert observed == [2]

@@ -1,0 +1,150 @@
+"""Unit tests for DES monitoring: time series and utilization tracking."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment, TimeSeriesMonitor, UtilizationTracker
+
+
+def _advance(env, to):
+    def proc(env):
+        yield env.timeout(to - env.now)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_timeseries_records_time_value_pairs():
+    env = Environment()
+    mon = TimeSeriesMonitor(env, name="queue-depth")
+    mon.record(0)
+    _advance(env, 5.0)
+    mon.record(3)
+    assert mon.times == [0.0, 5.0]
+    assert mon.values == [0.0, 3.0]
+    assert len(mon) == 2
+
+
+def test_timeseries_value_at_step_lookup():
+    env = Environment()
+    mon = TimeSeriesMonitor(env)
+    mon.record(1)
+    _advance(env, 10.0)
+    mon.record(7)
+    assert mon.value_at(0.0) == 1
+    assert mon.value_at(9.999) == 1
+    assert mon.value_at(10.0) == 7
+    assert mon.value_at(100.0) == 7
+
+
+def test_timeseries_value_before_first_sample_raises():
+    env = Environment(initial_time=5.0)
+    mon = TimeSeriesMonitor(env)
+    mon.record(1)
+    with pytest.raises(ValueError):
+        mon.value_at(1.0)
+
+
+def test_timeseries_empty_queries_raise():
+    env = Environment()
+    mon = TimeSeriesMonitor(env)
+    with pytest.raises(ValueError):
+        mon.value_at(0.0)
+    with pytest.raises(ValueError):
+        mon.time_weighted_mean()
+
+
+def test_timeseries_time_weighted_mean():
+    env = Environment()
+    mon = TimeSeriesMonitor(env)
+    mon.record(0.0)
+    _advance(env, 10.0)
+    mon.record(10.0)
+    _advance(env, 20.0)
+    # value 0 for 10s, value 10 for 10s -> mean 5
+    assert mon.time_weighted_mean() == pytest.approx(5.0)
+
+
+def test_timeseries_mean_with_until():
+    env = Environment()
+    mon = TimeSeriesMonitor(env)
+    mon.record(2.0)
+    _advance(env, 4.0)
+    mon.record(6.0)
+    # to t=8: value 2 for 4s, value 6 for 4s -> mean 4
+    assert mon.time_weighted_mean(until=8.0) == pytest.approx(4.0)
+
+
+def test_timeseries_as_arrays():
+    env = Environment()
+    mon = TimeSeriesMonitor(env)
+    mon.record(1.0)
+    times, values = mon.as_arrays()
+    assert isinstance(times, np.ndarray)
+    assert isinstance(values, np.ndarray)
+    assert values[0] == 1.0
+
+
+def test_utilization_tracker_basic_busy_idle():
+    env = Environment()
+    tracker = UtilizationTracker(env, name="gpu")
+    tracker.set_busy()
+    _advance(env, 6.0)
+    tracker.set_idle()
+    _advance(env, 10.0)
+    tracker.finish()
+    assert tracker.busy_time == pytest.approx(6.0)
+    assert tracker.idle_time == pytest.approx(4.0)
+    assert tracker.utilization() == pytest.approx(0.6)
+
+
+def test_utilization_redundant_transitions_ignored():
+    env = Environment()
+    tracker = UtilizationTracker(env)
+    tracker.set_busy()
+    _advance(env, 2.0)
+    tracker.set_busy()  # no-op
+    _advance(env, 3.0)
+    tracker.set_idle()
+    tracker.finish()
+    assert tracker.busy_time == pytest.approx(3.0)
+
+
+def test_utilization_empty_is_zero():
+    env = Environment()
+    tracker = UtilizationTracker(env)
+    assert tracker.utilization() == 0.0
+
+
+def test_idle_gaps_exclude_leading_and_trailing():
+    env = Environment()
+    tracker = UtilizationTracker(env)
+    tracker.set_idle()  # leading idle, excluded
+    _advance(env, 2.0)
+    tracker.set_busy()
+    _advance(env, 4.0)
+    tracker.set_idle()  # inner gap of 3
+    _advance(env, 7.0)
+    tracker.set_busy()
+    _advance(env, 9.0)
+    tracker.set_idle()  # trailing idle, excluded
+    _advance(env, 12.0)
+    tracker.finish()
+    gaps = tracker.idle_gaps()
+    assert list(gaps) == [pytest.approx(3.0)]
+
+
+def test_idle_gaps_multiple():
+    env = Environment()
+    tracker = UtilizationTracker(env)
+    for busy_len, idle_len in [(1.0, 0.5), (1.0, 2.5), (1.0, 0.0)]:
+        tracker.set_busy()
+        _advance(env, env.now + busy_len)
+        tracker.set_idle()
+        if idle_len:
+            _advance(env, env.now + idle_len)
+    tracker.finish()
+    gaps = tracker.idle_gaps()
+    assert len(gaps) == 2
+    assert gaps[0] == pytest.approx(0.5)
+    assert gaps[1] == pytest.approx(2.5)

@@ -1,0 +1,421 @@
+"""Unit tests for DES resources: Resource, Container, Store variants."""
+
+import pytest
+
+from repro.des import (
+    Container,
+    Environment,
+    FilterStore,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grant_times = []
+
+    def user(env, res, hold):
+        with res.request() as req:
+            yield req
+            grant_times.append(env.now)
+            yield env.timeout(hold)
+
+    for _ in range(3):
+        env.process(user(env, res, 10.0))
+    env.run()
+    # Two granted immediately, third waits for first release at t=10.
+    assert grant_times == [0.0, 0.0, 10.0]
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    env.process(user(env, res))
+    env.process(user(env, res))
+    env.run()
+    assert res.count == 0
+    assert env.now == 2.0
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name, arrive):
+        yield env.timeout(arrive)
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(5.0)
+
+    env.process(user(env, res, "a", 0.0))
+    env.process(user(env, res, "b", 1.0))
+    env.process(user(env, res, "c", 2.0))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_release_foreign_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        req = res.request()
+        yield req
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    env.process(user(env, res))
+    env.run()
+
+
+def test_resource_cancel_pending_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holders = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            holders.append("holder")
+            yield env.timeout(10.0)
+
+    def impatient(env, res):
+        req = res.request()
+        result = yield req | env.timeout(1.0)
+        if req not in result:
+            req.cancel()
+            holders.append("gave-up")
+
+    env.process(holder(env, res))
+    env.process(impatient(env, res))
+    env.run()
+    assert holders == ["holder", "gave-up"]
+    assert len(res.queue) == 0
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, res, name, prio, arrive):
+        yield env.timeout(arrive)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10.0)
+
+    env.process(user(env, res, "first", 5, 0.0))
+    env.process(user(env, res, "low", 5, 1.0))
+    env.process(user(env, res, "high", 0, 2.0))
+    env.run()
+    assert order == ["first", "high", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, res, name, arrive):
+        yield env.timeout(arrive)
+        with res.request(priority=1) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10.0)
+
+    for i, name in enumerate(["a", "b", "c"]):
+        env.process(user(env, res, name, float(i)))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_container_put_get_levels():
+    env = Environment()
+    box = Container(env, capacity=100.0, init=50.0)
+
+    def proc(env, box):
+        yield box.get(30.0)
+        assert box.level == 20.0
+        yield box.put(60.0)
+        assert box.level == 80.0
+
+    env.process(proc(env, box))
+    env.run()
+    assert box.level == 80.0
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    box = Container(env, capacity=100.0, init=0.0)
+    times = []
+
+    def consumer(env, box):
+        yield box.get(10.0)
+        times.append(env.now)
+
+    def producer(env, box):
+        yield env.timeout(5.0)
+        yield box.put(10.0)
+
+    env.process(consumer(env, box))
+    env.process(producer(env, box))
+    env.run()
+    assert times == [5.0]
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    box = Container(env, capacity=10.0, init=10.0)
+    times = []
+
+    def producer(env, box):
+        yield box.put(5.0)
+        times.append(env.now)
+
+    def consumer(env, box):
+        yield env.timeout(3.0)
+        yield box.get(5.0)
+
+    env.process(producer(env, box))
+    env.process(consumer(env, box))
+    env.run()
+    assert times == [3.0]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    box = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        box.put(0)
+    with pytest.raises(ValueError):
+        box.get(-1)
+
+
+def test_store_fifo():
+    env = Environment()
+    store: Store[int] = Store(env)
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_on_empty():
+    env = Environment()
+    store: Store[str] = Store(env)
+    times = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(4.0)
+        yield store.put("x")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [(4.0, "x")]
+
+
+def test_store_put_blocks_when_full():
+    env = Environment()
+    store: Store[int] = Store(env, capacity=1)
+    events = []
+
+    def producer(env, store):
+        yield store.put(1)
+        events.append(("put1", env.now))
+        yield store.put(2)
+        events.append(("put2", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert events == [("put1", 0.0), ("put2", 5.0)]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_filter_store_selects_matching_item():
+    env = Environment()
+    store: FilterStore[dict] = FilterStore(env)
+    got = []
+
+    def producer(env, store):
+        yield store.put({"kind": "a", "id": 1})
+        yield store.put({"kind": "b", "id": 2})
+        yield store.put({"kind": "a", "id": 3})
+
+    def consumer(env, store):
+        item = yield store.get(lambda it: it["kind"] == "b")
+        got.append(item["id"])
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [2]
+    assert [it["id"] for it in store.items] == [1, 3]
+
+
+def test_filter_store_waits_for_match():
+    env = Environment()
+    store: FilterStore[int] = FilterStore(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get(lambda x: x > 10)
+        got.append((env.now, item))
+
+    def producer(env, store):
+        yield store.put(1)
+        yield env.timeout(2.0)
+        yield store.put(99)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [(2.0, 99)]
+
+
+class TestPreemptiveResource:
+    def test_high_priority_evicts_low(self):
+        from repro.des import Interrupt, Preempted, PreemptiveResource
+
+        env = Environment()
+        res = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def low(env, res):
+            with res.request(priority=5) as req:
+                yield req
+                try:
+                    yield env.timeout(100)
+                except Interrupt as intr:
+                    assert isinstance(intr.cause, Preempted)
+                    log.append(("evicted-at", env.now,
+                                intr.cause.usage_since))
+
+        def high(env, res):
+            yield env.timeout(10)
+            with res.request(priority=0) as req:
+                yield req
+                log.append(("granted-at", env.now))
+                yield env.timeout(5)
+
+        env.process(low(env, res))
+        env.process(high(env, res))
+        env.run()
+        assert log == [("evicted-at", 10.0, 0.0), ("granted-at", 10.0)]
+
+    def test_equal_priority_does_not_preempt(self):
+        from repro.des import PreemptiveResource
+
+        env = Environment()
+        res = PreemptiveResource(env, capacity=1)
+        order = []
+
+        def user(env, res, name, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=3) as req:
+                yield req
+                order.append((name, env.now))
+                yield env.timeout(10)
+
+        env.process(user(env, res, "first", 0.0))
+        env.process(user(env, res, "second", 1.0))
+        env.run()
+        assert order == [("first", 0.0), ("second", 10.0)]
+
+    def test_preempt_false_waits(self):
+        from repro.des import PreemptiveResource
+
+        env = Environment()
+        res = PreemptiveResource(env, capacity=1)
+        order = []
+
+        def low(env, res):
+            with res.request(priority=5) as req:
+                yield req
+                yield env.timeout(20)
+                order.append(("low-done", env.now))
+
+        def polite_high(env, res):
+            yield env.timeout(1)
+            with res.request(priority=0, preempt=False) as req:
+                yield req
+                order.append(("high", env.now))
+
+        env.process(low(env, res))
+        env.process(polite_high(env, res))
+        env.run()
+        assert order == [("low-done", 20.0), ("high", 20.0)]
+
+    def test_lower_priority_never_evicts(self):
+        from repro.des import PreemptiveResource
+
+        env = Environment()
+        res = PreemptiveResource(env, capacity=1)
+        finished = []
+
+        def important(env, res):
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(50)
+                finished.append("important")
+
+        def upstart(env, res):
+            yield env.timeout(5)
+            with res.request(priority=9) as req:
+                yield req
+                finished.append("upstart")
+
+        env.process(important(env, res))
+        env.process(upstart(env, res))
+        env.run()
+        assert finished == ["important", "upstart"]

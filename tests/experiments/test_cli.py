@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import experiment_ids
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == experiment_ids()
+
+
+class TestSlack:
+    def test_conversion(self, capsys):
+        assert main(["slack", "100e-6"]) == 0
+        out = capsys.readouterr().out
+        km = float(out.split("=")[1].split("km")[0])
+        assert km == pytest.approx(20.0, rel=0.01)
+
+    def test_negative_rejected(self, capsys):
+        assert main(["slack", "-1"]) == 2
+
+
+class TestRun:
+    def test_single_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "[table1:" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["run", "table1", "discussion"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Section V" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+
+class TestProfile:
+    def test_profile_lammps(self, capsys):
+        assert main(["profile", "lammps", "--slack", "1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "lammps" in out
+        assert "queue parallelism 8" in out
+        assert "100.0" in out
+
+    def test_profile_trace_export(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["profile", "cosmoflow", "--slack", "1e-6",
+                     "--trace-out", str(path)]) == 0
+        assert path.exists()
+        from repro.trace import from_json
+
+        trace = from_json(path)
+        assert len(trace.kernels()) > 0
+
+    def test_negative_slack_rejected(self, capsys):
+        assert main(["profile", "lammps", "--slack", "-1"]) == 2
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "unknown-app"])
+
+
+class TestSweep:
+    def test_custom_grid(self, capsys):
+        assert main(["sweep", "--matrix", "512", "--slack", "1e-4",
+                     "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "512" in out
+        assert "1 thread(s)" in out
+
+    def test_oom_grid_reports_and_fails(self, capsys):
+        code = main(["sweep", "--matrix", "32768", "--threads", "8",
+                     "--slack", "1e-6", "--iterations", "5"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "skipped" in captured.err

@@ -1,0 +1,66 @@
+"""Tests for the shared experiment context (caching, configuration)."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.context import default_cache_dir
+
+
+class TestConfiguration:
+    def test_quick_mode_fixes_iterations(self):
+        assert ExperimentContext(quick=True).sweep_iterations == 25
+        assert ExperimentContext(quick=False).sweep_iterations is None
+
+    def test_quick_mode_shortens_profiling_runs(self):
+        quick = ExperimentContext(quick=True)
+        full = ExperimentContext(quick=False)
+        assert quick.lammps_config().params.steps < \
+            full.lammps_config().params.steps
+        assert quick.cosmoflow_config().epochs < \
+            full.cosmoflow_config().epochs
+
+    def test_full_mode_uses_paper_run_lengths(self):
+        full = ExperimentContext(quick=False)
+        assert full.lammps_config().params.steps == 5000
+        cfg = full.cosmoflow_config()
+        assert cfg.epochs == 5
+        assert cfg.train_samples == cfg.val_samples == 1024
+
+    def test_default_cache_dir_is_repo_local(self):
+        assert default_cache_dir().name == ".cache"
+
+
+class TestProfileMemoization:
+    def test_profiles_memoized(self):
+        ctx = ExperimentContext(quick=True)
+        assert ctx.lammps_profile() is ctx.lammps_profile()
+        assert ctx.cosmoflow_profile() is ctx.cosmoflow_profile()
+
+    def test_profiles_tuple(self):
+        ctx = ExperimentContext(quick=True)
+        lam, cosmo = ctx.profiles()
+        assert lam.name == "lammps"
+        assert cosmo.name == "cosmoflow"
+
+
+class TestSurfaceCaching:
+    def test_surface_memoized_in_process(self):
+        ctx = ExperimentContext(quick=True)
+        assert ctx.surface() is ctx.surface()
+
+    def test_surface_disk_cache_roundtrip(self, tmp_path):
+        # Build with a private cache dir: the first context writes,
+        # the second reads the file instead of re-sweeping.
+        ctx1 = ExperimentContext(quick=True, cache_dir=tmp_path)
+        surface1 = ctx1.surface()
+        files = list(tmp_path.glob("surface-*.json"))
+        assert len(files) == 1
+
+        ctx2 = ExperimentContext(quick=True, cache_dir=tmp_path)
+        surface2 = ctx2.surface()
+        assert surface2.matrix_sizes() == surface1.matrix_sizes()
+        assert surface2.penalty(512, 1e-4) == pytest.approx(
+            surface1.penalty(512, 1e-4)
+        )
+        # Still just one cache file (same key).
+        assert len(list(tmp_path.glob("surface-*.json"))) == 1

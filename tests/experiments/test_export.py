@@ -1,0 +1,76 @@
+"""Tests for the Markdown export of experiment results."""
+
+import pytest
+
+from repro.experiments import results_to_markdown, write_markdown_report
+from repro.experiments.export import series_to_markdown, table_to_markdown
+from repro.experiments.report import ExperimentResult, Series, Table
+
+
+def sample_table():
+    t = Table(title="T", headers=["a", "b"], notes=["a note"])
+    t.add_row(1, 2.5)
+    t.add_row(3, 4.0)
+    return t
+
+
+def sample_series():
+    s = Series(title="S", x_label="x", y_label="y", x=[1.0, 2.0])
+    s.add_line("line1", [10.0, None])
+    return s
+
+
+class TestTableToMarkdown:
+    def test_pipe_table_structure(self):
+        md = table_to_markdown(sample_table())
+        lines = md.splitlines()
+        assert lines[0] == "**T**"
+        assert "| a | b |" in md
+        assert "| 1 | 2.5 |" in md
+        assert "> a note" in md
+
+    def test_separator_matches_columns(self):
+        md = table_to_markdown(sample_table())
+        sep = [l for l in md.splitlines() if l and set(l) <= {"|", "-"}][0]
+        assert sep.count("---") == 2
+
+
+class TestSeriesToMarkdown:
+    def test_series_rows(self):
+        md = series_to_markdown(sample_series())
+        assert "| series | 1 | 2 |" in md
+        assert "| line1 | 10 | – |" in md
+        assert "*x = x; y = y*" in md
+
+
+class TestResultsToMarkdown:
+    def test_full_document(self):
+        result = ExperimentResult(
+            experiment_id="exp1",
+            tables=[sample_table()],
+            series=[sample_series()],
+            notes=["important"],
+        )
+        md = results_to_markdown([result], title="My Report")
+        assert md.startswith("# My Report")
+        assert "## exp1" in md
+        assert "> **NOTE:** important" in md
+        assert md.endswith("\n")
+
+    def test_write_report(self, tmp_path):
+        result = ExperimentResult(experiment_id="e", tables=[sample_table()])
+        path = write_markdown_report([result], tmp_path / "r.md")
+        assert path.exists()
+        assert "## e" in path.read_text()
+
+
+class TestCliOutputFlag:
+    def test_run_with_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["run", "table1", "--output", str(out)]) == 0
+        assert out.exists()
+        text = out.read_text()
+        assert "## table1" in text
+        assert "| Box Size |" in text

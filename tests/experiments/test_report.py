@@ -1,0 +1,122 @@
+"""Tests for the report primitives: Table, Series, ExperimentResult."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, Series, Table, fmt
+
+
+class TestFmt:
+    def test_float_compact(self):
+        assert fmt(1.23456789) == "1.235"
+        assert fmt(0.0) == "0"
+        assert fmt(1e-9) == "1e-09"
+        assert fmt(123456.0) == "1.235e+05"
+
+    def test_non_float(self):
+        assert fmt(42) == "42"
+        assert fmt("abc") == "abc"
+        assert fmt(True) == "True"
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        t = Table(title="T", headers=["a", "b"])
+        t.add_row(1, 2.5)
+        out = t.render()
+        assert "T" in out
+        assert "a" in out and "b" in out
+        assert "2.5" in out
+
+    def test_row_length_checked(self):
+        t = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_extraction(self):
+        t = Table(title="T", headers=["a", "b"])
+        t.add_row(1, 10)
+        t.add_row(2, 20)
+        assert t.column("b") == [10, 20]
+        with pytest.raises(ValueError):
+            t.column("c")
+
+    def test_notes_rendered(self):
+        t = Table(title="T", headers=["a"], notes=["hello"])
+        assert "note: hello" in t.render()
+
+    def test_empty_table_renders(self):
+        t = Table(title="T", headers=["a"])
+        assert "T" in t.render()
+
+
+class TestSeries:
+    def test_add_line_and_render(self):
+        s = Series(title="S", x_label="x", y_label="y", x=[1.0, 2.0])
+        s.add_line("l1", [10.0, 20.0])
+        out = s.render()
+        assert "l1" in out
+        assert "10" in out
+
+    def test_length_checked(self):
+        s = Series(title="S", x_label="x", y_label="y", x=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.add_line("l1", [10.0])
+
+    def test_none_rendered_as_dash(self):
+        s = Series(title="S", x_label="x", y_label="y", x=[1.0, 2.0])
+        s.add_line("l1", [10.0, None])
+        assert "-" in s.render()
+
+
+class TestExperimentResult:
+    def test_render_combines_artifacts(self):
+        t = Table(title="T1", headers=["a"])
+        t.add_row(1)
+        s = Series(title="S1", x_label="x", y_label="y", x=[1.0])
+        s.add_line("l", [2.0])
+        r = ExperimentResult(
+            experiment_id="exp", tables=[t], series=[s], notes=["n1"]
+        )
+        out = r.render()
+        assert "=== exp ===" in out
+        assert "T1" in out and "S1" in out and "NOTE: n1" in out
+
+
+class TestAsciiChart:
+    def _series(self):
+        s = Series(title="S", x_label="x", y_label="y",
+                   x=[1.0, 2.0, 3.0])
+        s.add_line("up", [1.0, 2.0, 3.0])
+        s.add_line("down", [3.0, 2.0, 1.0])
+        return s
+
+    def test_chart_contains_glyphs_and_legend(self):
+        chart = self._series().ascii_chart(height=6)
+        assert "a=up" in chart
+        assert "b=down" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_extremes_on_axis_labels(self):
+        chart = self._series().ascii_chart(height=6)
+        assert "3" in chart.splitlines()[1]  # top label
+        assert "1" in chart
+
+    def test_log_scale(self):
+        s = Series(title="S", x_label="x", y_label="y", x=[1.0, 2.0])
+        s.add_line("l", [1.0, 1000.0])
+        chart = s.ascii_chart(height=5, log_y=True)
+        assert "1000" in chart
+
+    def test_none_values_skipped(self):
+        s = Series(title="S", x_label="x", y_label="y", x=[1.0, 2.0])
+        s.add_line("l", [1.0, None])
+        chart = s.ascii_chart(height=5)
+        assert "a=l" in chart
+
+    def test_validation(self):
+        s = self._series()
+        with pytest.raises(ValueError):
+            s.ascii_chart(height=2)
+        empty = Series(title="S", x_label="x", y_label="y", x=[1.0])
+        with pytest.raises(ValueError):
+            empty.ascii_chart()

@@ -1,0 +1,149 @@
+"""Tests for SM-occupancy co-scheduling of kernels."""
+
+import pytest
+
+from repro.des import Environment
+from repro.gpusim import (
+    CudaRuntime,
+    KernelSpec,
+    matmul_kernel,
+    matmul_sm_fraction,
+)
+from repro.network import SlackModel
+from repro.trace import CopyKind
+
+
+def co_run(concurrent, kernels, streams=None):
+    env = Environment()
+    rt = CudaRuntime(env, concurrent_kernels=concurrent)
+    streams = streams or [rt.create_stream() for _ in kernels]
+
+    def host():
+        t0 = env.now
+        ops = []
+        for k, s in zip(kernels, streams if streams else []):
+            op = yield from rt.launch(k, stream=s)
+            ops.append(op)
+        for op in ops:
+            if not op.completion.processed:
+                yield op.completion
+        return env.now - t0
+
+    proc = env.process(host())
+    env.run()
+    return proc.value, rt
+
+
+class TestSmFraction:
+    def test_small_matmul_partial_occupancy(self):
+        assert matmul_sm_fraction(512) == pytest.approx(16 / 108)
+
+    def test_large_matmul_saturates(self):
+        assert matmul_sm_fraction(2048) == 1.0
+        assert matmul_sm_fraction(32768) == 1.0
+
+    def test_monotone(self):
+        fracs = [matmul_sm_fraction(n) for n in (128, 256, 512, 1024, 2048)]
+        assert fracs == sorted(fracs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matmul_sm_fraction(0)
+        with pytest.raises(ValueError):
+            KernelSpec(name="k", duration_s=1.0, sm_fraction=0.0)
+        with pytest.raises(ValueError):
+            KernelSpec(name="k", duration_s=1.0, sm_fraction=1.5)
+
+
+class TestOccupancyEngine:
+    def test_small_kernels_co_run(self):
+        kernels = [matmul_kernel(512)] * 2  # each 16/108 of the SMs
+        serial, _ = co_run(False, kernels)
+        concurrent, _ = co_run(True, kernels)
+        assert concurrent < 0.7 * serial
+
+    def test_saturating_kernels_still_serialize(self):
+        kernels = [matmul_kernel(2048)] * 2  # each fills the device
+        serial, _ = co_run(False, kernels)
+        concurrent, _ = co_run(True, kernels)
+        assert concurrent == pytest.approx(serial, rel=0.02)
+
+    def test_many_small_kernels_bounded_by_sm_pool(self):
+        # 16 blocks each: 6 fit in 108 SMs, the 7th waits.
+        kernels = [matmul_kernel(512)] * 7
+        concurrent, rt = co_run(True, kernels)
+        one = matmul_kernel(512).execution_time(rt.gpu)
+        # Two waves, not seven serial executions.
+        assert concurrent < 3.5 * one
+        assert concurrent > 1.5 * one
+
+    def test_resident_counter_returns_to_zero(self):
+        _, rt = co_run(True, [matmul_kernel(512)] * 3)
+        assert rt.compute.resident_kernels == 0
+
+    def test_starvation_still_charged(self):
+        env = Environment()
+        rt = CudaRuntime(env, concurrent_kernels=True,
+                         slack=SlackModel(1e-3))
+
+        def host():
+            yield from rt.memcpy(2**20, CopyKind.H2D)
+            yield from rt.launch(matmul_kernel(512), blocking=True)
+
+        env.process(host())
+        env.run()
+        # The slack after the memcpy starves the device; the kernel
+        # pays the ramp exactly as on the serial engine.
+        assert rt.total_starvation_cost() == pytest.approx(
+            0.9 * 1e-3, rel=0.05
+        )
+
+    def test_invalid_sm_fraction_at_execute(self):
+        env = Environment()
+        rt = CudaRuntime(env, concurrent_kernels=True)
+
+        def host():
+            yield from rt.compute.execute_kernel(1e-3, 0.0)
+
+        with pytest.raises(ValueError):
+            proc = env.process(host())
+            env.run()
+
+
+class TestOccupancyRaisesSlackTolerance:
+    def test_concurrent_kernels_help_multi_thread_proxy(self):
+        """With SM co-scheduling, concurrent submitters overlap their
+        small kernels and the per-iteration starvation residual of a
+        multi-thread loop shrinks."""
+
+        def residual(concurrent):
+            def run(slack):
+                env = Environment()
+                rt = CudaRuntime(env, concurrent_kernels=concurrent,
+                                 slack=SlackModel(slack))
+                n, iters, threads = 512, 15, 4
+                nbytes = n * n * 4
+                k = matmul_kernel(n)
+
+                def worker(tid):
+                    s = rt.create_stream()
+                    for _ in range(iters):
+                        yield from rt.memcpy(nbytes, CopyKind.H2D, s, tid)
+                        yield from rt.memcpy(nbytes, CopyKind.H2D, s, tid)
+                        yield from rt.launch(k, s, tid, blocking=True)
+                        yield from rt.memcpy(nbytes, CopyKind.D2H, s, tid)
+                        yield from rt.synchronize(stream=s, thread=tid)
+
+                def main():
+                    t0 = env.now
+                    ws = [env.process(worker(t)) for t in range(threads)]
+                    yield env.all_of(ws)
+                    return env.now - t0
+
+                proc = env.process(main())
+                env.run()
+                return proc.value
+
+            return run(2e-4) - run(0.0)
+
+        assert residual(True) <= residual(False) * 1.1

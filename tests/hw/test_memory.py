@@ -1,0 +1,148 @@
+"""Unit and property-based tests for the device memory allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import DeviceMemory, GiB, MiB, OutOfMemoryError
+
+
+class TestDeviceMemory:
+    def test_basic_alloc_free(self):
+        mem = DeviceMemory(GiB)
+        a = mem.malloc(MiB, tag="A")
+        assert a.nbytes >= MiB
+        assert mem.used == a.nbytes
+        mem.free_allocation(a)
+        assert mem.used == 0
+        assert mem.free == GiB
+
+    def test_alignment_rounds_up(self):
+        mem = DeviceMemory(GiB, alignment=256)
+        a = mem.malloc(100)
+        assert a.nbytes == 256
+
+    def test_out_of_memory_raises(self):
+        mem = DeviceMemory(MiB)
+        with pytest.raises(OutOfMemoryError):
+            mem.malloc(2 * MiB)
+
+    def test_exact_fill(self):
+        mem = DeviceMemory(MiB)
+        a = mem.malloc(MiB)
+        assert mem.free == 0
+        with pytest.raises(OutOfMemoryError):
+            mem.malloc(256)
+        mem.free_allocation(a)
+        assert mem.free == MiB
+
+    def test_proxy_memory_bound_scenario(self):
+        # The paper: 3 matrices of 2^15 floats squared = 3 * 4 GiB per
+        # thread; one thread fits a 40 GiB A100, four threads do not.
+        mem = DeviceMemory(40 * GiB)
+        matrix = (2**15) ** 2 * 4  # 4 GiB
+        one_thread = [mem.malloc(matrix) for _ in range(3)]
+        assert mem.used == 12 * GiB
+        # Three more threads would need 36 GiB more; fails on thread 4.
+        allocated = list(one_thread)
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(9):
+                allocated.append(mem.malloc(matrix))
+
+    def test_double_free_rejected(self):
+        mem = DeviceMemory(GiB)
+        a = mem.malloc(MiB)
+        mem.free_allocation(a)
+        with pytest.raises(ValueError):
+            mem.free_allocation(a)
+
+    def test_coalescing_allows_large_realloc(self):
+        mem = DeviceMemory(4 * MiB)
+        blocks = [mem.malloc(MiB) for _ in range(4)]
+        for b in blocks:
+            mem.free_allocation(b)
+        # After freeing all, a full-size allocation must succeed.
+        big = mem.malloc(4 * MiB)
+        assert big.nbytes == 4 * MiB
+
+    def test_fragmentation_visible(self):
+        mem = DeviceMemory(4 * MiB)
+        blocks = [mem.malloc(MiB) for _ in range(4)]
+        # Free alternating blocks: 2 MiB free but fragmented.
+        mem.free_allocation(blocks[0])
+        mem.free_allocation(blocks[2])
+        assert mem.free == 2 * MiB
+        assert mem.largest_free_block() == MiB
+        assert not mem.would_fit(2 * MiB)
+        assert mem.would_fit(MiB)
+
+    def test_peak_tracking(self):
+        mem = DeviceMemory(GiB)
+        a = mem.malloc(100 * MiB)
+        b = mem.malloc(200 * MiB)
+        mem.free_allocation(a)
+        mem.free_allocation(b)
+        assert mem.peak_used == 300 * MiB
+
+    def test_reset(self):
+        mem = DeviceMemory(GiB)
+        mem.malloc(MiB)
+        mem.reset()
+        assert mem.used == 0
+        assert mem.largest_free_block() == GiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceMemory(0)
+        with pytest.raises(ValueError):
+            DeviceMemory(GiB, alignment=3)
+        mem = DeviceMemory(GiB)
+        with pytest.raises(ValueError):
+            mem.malloc(0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=64 * MiB)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_allocator_invariants_hold_under_random_workload(ops):
+    """Property: used+free==capacity, free list never overlaps live blocks."""
+    mem = DeviceMemory(256 * MiB)
+    live = []
+    for do_alloc, size in ops:
+        if do_alloc or not live:
+            try:
+                live.append(mem.malloc(size))
+            except OutOfMemoryError:
+                pass
+        else:
+            mem.free_allocation(live.pop(0))
+        # Invariant 1: accounting balances.
+        assert mem.used + mem.free == mem.capacity
+        # Invariant 2: live allocations never overlap.
+        spans = sorted((a.ptr, a.ptr + a.nbytes) for a in mem.allocations)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+        # Invariant 3: largest free block is bounded by total free.
+        assert mem.largest_free_block() <= mem.free
+
+
+@settings(max_examples=100, deadline=None)
+@given(sizes=st.lists(st.integers(min_value=1, max_value=MiB), min_size=1, max_size=30))
+def test_free_everything_restores_full_capacity(sizes):
+    """Property: freeing all allocations coalesces back to one block."""
+    mem = DeviceMemory(64 * MiB)
+    allocs = []
+    for size in sizes:
+        try:
+            allocs.append(mem.malloc(size))
+        except OutOfMemoryError:
+            break
+    for a in allocs:
+        mem.free_allocation(a)
+    assert mem.used == 0
+    assert mem.largest_free_block() == mem.capacity

@@ -1,0 +1,137 @@
+"""Unit tests for the PCIe enumeration and topology models."""
+
+import pytest
+
+from repro.hw import (
+    BDF,
+    EnumerationError,
+    PCIE_MAX_BUSES,
+    PCIeDevice,
+    PCIeDomain,
+    PCIeSwitch,
+    PCIeTopology,
+    completion_timeout_margin,
+)
+
+
+class TestBDF:
+    def test_valid(self):
+        bdf = BDF(bus=3, device=1, function=0)
+        assert str(bdf) == "03:01.0"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            BDF(bus=256, device=0)
+        with pytest.raises(ValueError):
+            BDF(bus=0, device=32)
+        with pytest.raises(ValueError):
+            BDF(bus=0, device=0, function=8)
+
+
+class TestPCIeDomain:
+    def test_enumerate_assigns_bdf(self):
+        domain = PCIeDomain()
+        gpu = PCIeDevice(name="gpu0")
+        bdf = domain.enumerate_device(gpu)
+        assert gpu.bdf is bdf
+        assert len(domain.devices) == 1
+
+    def test_switches_consume_buses(self):
+        domain = PCIeDomain(reserved_buses=1)
+        before = domain.buses_free
+        sw = PCIeDevice(name="sw0", kind="switch", buses_consumed=4)
+        domain.enumerate_device(sw)
+        assert domain.buses_free == before - 4
+
+    def test_enumeration_exhaustion(self):
+        # A naive single-domain rack fabric runs out of bus numbers —
+        # the scaling wall the paper attributes to rack-scale CDI.
+        domain = PCIeDomain(reserved_buses=1)
+        with pytest.raises(EnumerationError):
+            for i in range(300):
+                domain.enumerate_device(
+                    PCIeDevice(name=f"sw{i}", kind="switch", buses_consumed=2)
+                )
+
+    def test_separate_domains_avoid_exhaustion(self):
+        # Row-scale CDI with per-chassis domains: each domain has its
+        # own 256-bus budget, so the same device population fits.
+        domains = [PCIeDomain(domain_id=i) for i in range(4)]
+        for d in domains:
+            for i in range(100):
+                d.enumerate_device(
+                    PCIeDevice(name=f"d{d.domain_id}-sw{i}", kind="switch",
+                               buses_consumed=2)
+                )
+        assert all(d.buses_free > 0 for d in domains)
+
+    def test_can_fit(self):
+        domain = PCIeDomain(reserved_buses=250)
+        assert domain.can_fit(3, buses_per_gpu=2)
+        assert not domain.can_fit(4, buses_per_gpu=2)
+
+
+class TestPCIeTopology:
+    def _build(self):
+        topo = PCIeTopology()
+        topo.add_switch(PCIeSwitch("sw0", downstream_ports=2))
+        topo.add_switch(PCIeSwitch("sw1", downstream_ports=2), parent="sw0")
+        topo.add_endpoint("gpu0", parent="sw1")
+        topo.add_endpoint("gpu1", parent="root")
+        return topo
+
+    def test_hop_counting(self):
+        topo = self._build()
+        assert topo.hops_to("gpu0") == 2
+        assert topo.hops_to("gpu1") == 0
+
+    def test_path_latency_accumulates_hops(self):
+        topo = self._build()
+        direct = topo.path_latency("gpu1")
+        nested = topo.path_latency("gpu0")
+        assert nested > direct
+        assert nested - direct == pytest.approx(2 * 0.15e-6)
+
+    def test_port_capacity_enforced(self):
+        topo = PCIeTopology()
+        topo.add_switch(PCIeSwitch("sw0", downstream_ports=1))
+        topo.add_endpoint("gpu0", parent="sw0")
+        with pytest.raises(ValueError):
+            topo.add_endpoint("gpu1", parent="sw0")
+
+    def test_unknown_parent_rejected(self):
+        topo = PCIeTopology()
+        with pytest.raises(KeyError):
+            topo.add_endpoint("gpu0", parent="nonexistent")
+
+    def test_duplicate_names_rejected(self):
+        topo = self._build()
+        with pytest.raises(ValueError):
+            topo.add_endpoint("gpu0", parent="root")
+        with pytest.raises(ValueError):
+            topo.add_switch(PCIeSwitch("sw0"))
+
+    def test_unknown_endpoint_queries(self):
+        topo = self._build()
+        with pytest.raises(KeyError):
+            topo.hops_to("nope")
+        with pytest.raises(KeyError):
+            topo.path_latency("nope")
+
+
+class TestCompletionTimeout:
+    def test_small_slack_leaves_margin(self):
+        assert completion_timeout_margin(100e-6) > 0
+
+    def test_huge_slack_exceeds_timeout(self):
+        assert completion_timeout_margin(30e-3) < 0
+
+    def test_paper_scales_all_fit(self):
+        # rack (~1 us), row (~10 us), cluster (~100 us) all fit well
+        # under the 50 ms default completion timeout.
+        for slack in (1e-6, 10e-6, 100e-6):
+            assert completion_timeout_margin(slack) > 0.049
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            completion_timeout_margin(-1e-6)

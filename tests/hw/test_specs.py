@@ -1,0 +1,115 @@
+"""Unit tests for hardware specifications."""
+
+import pytest
+
+from repro.hw import (
+    A100_SXM4_40GB,
+    CPUSpec,
+    EPYC_7413,
+    GiB,
+    GPUSpec,
+    NARVAL_NODE,
+    NodeSpec,
+    PCIeSpec,
+)
+
+
+class TestPCIeSpec:
+    def test_gen4_x16_effective_bandwidth(self):
+        spec = PCIeSpec()
+        # 16 lanes * 16 Gbps / 8 = 32 GB/s raw, 25.6 GB/s at 80%.
+        assert spec.raw_bandwidth_Bps == pytest.approx(32e9)
+        assert spec.effective_bandwidth_Bps == pytest.approx(25.6e9)
+
+    def test_transfer_time_includes_latency(self):
+        spec = PCIeSpec()
+        t = spec.transfer_time(0)
+        assert t == pytest.approx(spec.latency_s)
+
+    def test_transfer_time_scales_with_bytes(self):
+        spec = PCIeSpec()
+        t1 = spec.transfer_time(GiB)
+        t2 = spec.transfer_time(2 * GiB)
+        assert t2 - t1 == pytest.approx(GiB / spec.effective_bandwidth_Bps)
+
+    def test_one_gib_transfer_time_magnitude(self):
+        # 1 GiB over ~25.6 GB/s is ~42 ms.
+        t = PCIeSpec().transfer_time(GiB)
+        assert 0.03 < t < 0.06
+
+    def test_invalid_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeSpec(lanes=3)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeSpec(efficiency=0.0)
+        with pytest.raises(ValueError):
+            PCIeSpec(efficiency=1.5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeSpec().transfer_time(-1)
+
+
+class TestGPUSpec:
+    def test_a100_defaults(self):
+        assert A100_SXM4_40GB.memory_bytes == 40 * GiB
+        assert A100_SXM4_40GB.peak_flops == pytest.approx(19.5e12)
+
+    def test_starvation_cost_zero_for_no_gap(self):
+        assert A100_SXM4_40GB.starvation_cost(0.0) == 0.0
+        assert A100_SXM4_40GB.starvation_cost(-1.0) == 0.0
+
+    def test_starvation_cost_linear_region(self):
+        gpu = GPUSpec(idle_ramp_fraction=0.9, idle_ramp_cap_s=25e-3)
+        assert gpu.starvation_cost(1e-3) == pytest.approx(0.9e-3)
+
+    def test_starvation_cost_saturates(self):
+        gpu = GPUSpec(idle_ramp_fraction=0.9, idle_ramp_cap_s=25e-3)
+        assert gpu.starvation_cost(1.0) == pytest.approx(25e-3)
+        assert gpu.starvation_cost(100.0) == pytest.approx(25e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec(fp32_tflops=0)
+        with pytest.raises(ValueError):
+            GPUSpec(memory_bytes=0)
+        with pytest.raises(ValueError):
+            GPUSpec(idle_ramp_fraction=-1)
+
+
+class TestCPUSpec:
+    def test_epyc_defaults(self):
+        assert EPYC_7413.cores == 24
+
+    def test_peak_flops_per_core(self):
+        cpu = CPUSpec(base_clock_ghz=2.0, flops_per_cycle=16)
+        assert cpu.peak_flops_per_core == pytest.approx(32e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPUSpec(cores=0)
+
+
+class TestNodeSpec:
+    def test_narval_layout(self):
+        # 2 sockets x 24 cores, 4 GPUs -> 12 cores per GPU.
+        assert NARVAL_NODE.total_cores == 48
+        assert NARVAL_NODE.cores_per_gpu == 12.0
+
+    def test_cpu_only_node(self):
+        node = NodeSpec(gpus=0)
+        assert node.cores_per_gpu == float("inf")
+
+    def test_with_gpus_copy(self):
+        node = NARVAL_NODE.with_gpus(8)
+        assert node.gpus == 8
+        assert NARVAL_NODE.gpus == 4  # original untouched
+        assert node.cores_per_gpu == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(sockets=0)
+        with pytest.raises(ValueError):
+            NodeSpec(gpus=-1)

@@ -1,0 +1,50 @@
+"""Shared fixtures for model tests: a synthetic response surface."""
+
+import pytest
+
+from repro.proxy import SlackResponseSurface, SweepPoint, SweepResult
+
+
+def synthetic_point(matrix_size, threads, slack_s, penalty):
+    """Fabricate a sweep point with a prescribed penalty."""
+    return SweepPoint(
+        matrix_size=matrix_size,
+        threads=threads,
+        slack_s=slack_s,
+        loop_runtime_s=1.0 + penalty + 5 * slack_s,
+        corrected_runtime_s=1.0 + penalty,
+        baseline_runtime_s=1.0,
+        iterations=10,
+        kernel_time_s={512: 50e-6, 2048: 1.5e-3, 8192: 60e-3,
+                       32768: 3.8}[matrix_size],
+    )
+
+
+#: Penalties mimicking the measured surface shape: smaller matrices
+#: and larger slack hurt more; more threads hurt less.
+SYNTHETIC_PENALTIES = {
+    # (matrix_size, threads, slack): penalty
+    (512, 1, 1e-6): 0.005, (512, 1, 1e-4): 0.45, (512, 1, 1e-2): 45.0,
+    (2048, 1, 1e-6): 0.0003, (2048, 1, 1e-4): 0.025, (2048, 1, 1e-2): 2.5,
+    (8192, 1, 1e-6): 0.0, (8192, 1, 1e-4): 0.001, (8192, 1, 1e-2): 0.09,
+    (32768, 1, 1e-6): 0.0, (32768, 1, 1e-4): 0.0, (32768, 1, 1e-2): 0.002,
+    (512, 4, 1e-6): 0.0, (512, 4, 1e-4): 0.0, (512, 4, 1e-2): 12.0,
+    (2048, 4, 1e-6): 0.0, (2048, 4, 1e-4): 0.0, (2048, 4, 1e-2): 0.3,
+    (8192, 4, 1e-6): 0.0, (8192, 4, 1e-4): 0.0, (8192, 4, 1e-2): 0.01,
+    (32768, 4, 1e-6): 0.0, (32768, 4, 1e-4): 0.0, (32768, 4, 1e-2): 0.0,
+    (512, 8, 1e-6): 0.0, (512, 8, 1e-4): 0.0, (512, 8, 1e-2): 7.0,
+    (2048, 8, 1e-6): 0.0, (2048, 8, 1e-4): 0.0, (2048, 8, 1e-2): 0.15,
+    (8192, 8, 1e-6): 0.0, (8192, 8, 1e-4): 0.0, (8192, 8, 1e-2): 0.005,
+    (32768, 8, 1e-6): 0.0, (32768, 8, 1e-4): 0.0, (32768, 8, 1e-2): 0.0,
+}
+
+#: Table II-like proxy kernel times for the synthetic surface.
+SYNTHETIC_KERNEL_TIMES = {512: 50e-6, 2048: 1.5e-3, 8192: 60e-3, 32768: 3.8}
+
+
+@pytest.fixture(scope="session")
+def synthetic_surface():
+    sweep = SweepResult()
+    for (n, t, s), penalty in SYNTHETIC_PENALTIES.items():
+        sweep.add(synthetic_point(n, t, s, penalty))
+    return SlackResponseSurface(sweep)

@@ -1,0 +1,220 @@
+"""Unit and property tests for the paper's equations and binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import MiB
+from repro.model import (
+    bin_kernel_durations,
+    bin_transfer_sizes,
+    bin_values,
+    equation1_remove_direct_slack,
+    equation2_total_slack_penalty,
+    equation3_binned_slack_penalty,
+    matrix_bytes,
+    table3_bins,
+    transfer_grid_bytes,
+)
+
+GRID = (512, 2048, 8192, 32768)
+
+
+class TestEquation1:
+    def test_basic_subtraction(self):
+        # 5 calls/iter x 100 iters x 1 ms slack = 0.5 s removed.
+        assert equation1_remove_direct_slack(10.0, 500, 1e-3) == pytest.approx(9.5)
+
+    def test_zero_slack_identity(self):
+        assert equation1_remove_direct_slack(10.0, 500, 0.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equation1_remove_direct_slack(-1.0, 5, 1e-6)
+        with pytest.raises(ValueError):
+            equation1_remove_direct_slack(1.0, -5, 1e-6)
+        with pytest.raises(ValueError):
+            equation1_remove_direct_slack(1.0, 5, -1e-6)
+
+
+class TestEquation2:
+    def test_weighted_combination(self):
+        # 30% kernel time at 10% penalty + 20% memory at 5% penalty.
+        sp = equation2_total_slack_penalty(0.3, 0.10, 0.2, 0.05)
+        assert sp == pytest.approx(0.04)
+
+    def test_zero_fractions_no_penalty(self):
+        assert equation2_total_slack_penalty(0.0, 99.0, 0.0, 99.0) == 0.0
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            equation2_total_slack_penalty(1.5, 0.1, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            equation2_total_slack_penalty(0.7, 0.1, 0.5, 0.1)  # sums > 1
+        with pytest.raises(ValueError):
+            equation2_total_slack_penalty(0.5, -0.1, 0.3, 0.1)
+
+
+class TestEquation3:
+    def test_count_weighted_mean(self):
+        counts = {512: 3, 2048: 1}
+        penalties = {512: 0.4, 2048: 0.0}
+        assert equation3_binned_slack_penalty(counts, penalties) == pytest.approx(
+            0.3
+        )
+
+    def test_single_bin(self):
+        assert equation3_binned_slack_penalty({512: 10}, {512: 0.07}) == 0.07
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            equation3_binned_slack_penalty({}, {512: 0.1})
+        with pytest.raises(ValueError):
+            equation3_binned_slack_penalty({512: 0}, {512: 0.1})
+
+    def test_missing_penalty_rejected(self):
+        with pytest.raises(KeyError):
+            equation3_binned_slack_penalty({512: 1, 999: 1}, {512: 0.1})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            equation3_binned_slack_penalty({512: -1, 2048: 2}, {512: 0.1, 2048: 0})
+
+    @settings(max_examples=50)
+    @given(
+        counts=st.dictionaries(
+            st.sampled_from(GRID), st.integers(min_value=0, max_value=1000),
+            min_size=1,
+        ).filter(lambda d: sum(d.values()) > 0),
+        penalties=st.fixed_dictionaries(
+            {n: st.floats(min_value=0, max_value=50) for n in GRID}
+        ),
+    )
+    def test_result_bounded_by_extremes(self, counts, penalties):
+        """Property: the weighted mean lies within the used penalties."""
+        sp = equation3_binned_slack_penalty(counts, penalties)
+        used = [penalties[n] for n, c in counts.items() if c > 0]
+        assert min(used) - 1e-12 <= sp <= max(used) + 1e-12
+
+
+class TestMatrixBytes:
+    def test_paper_bin_edges_are_matrix_sizes(self):
+        # 2^9 -> 1 MiB, 2^11 -> 16 MiB, 2^13 -> 256 MiB, 2^15 -> 4096 MiB.
+        assert matrix_bytes(2**9) == 1 * MiB
+        assert matrix_bytes(2**11) == 16 * MiB
+        assert matrix_bytes(2**13) == 256 * MiB
+        assert matrix_bytes(2**15) == 4096 * MiB
+
+    def test_grid_mapping(self):
+        grid = transfer_grid_bytes(GRID)
+        assert sorted(grid) == sorted(GRID)
+        assert grid[512] == MiB
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            matrix_bytes(0)
+
+
+class TestBinValues:
+    def test_exact_grid_points_bin_to_themselves(self):
+        grid = {n: float(n) for n in GRID}
+        binned = bin_values([512.0, 8192.0], grid)
+        assert binned.lower_counts[512] == 1
+        assert binned.upper_counts[512] == 1
+        assert binned.lower_counts[8192] == 1
+        assert binned.upper_counts[8192] == 1
+
+    def test_between_grid_points_brackets(self):
+        grid = {n: float(n) for n in GRID}
+        binned = bin_values([1000.0], grid)
+        # Rounded up (lower penalty) -> 2048; rounded down -> 512.
+        assert binned.lower_counts[2048] == 1
+        assert binned.upper_counts[512] == 1
+
+    def test_clamping_below_and_above(self):
+        grid = {n: float(n) for n in GRID}
+        binned = bin_values([10.0, 1e9], grid)
+        assert binned.lower_counts[512] == 1
+        assert binned.upper_counts[512] == 1
+        assert binned.lower_counts[32768] == 1
+        assert binned.upper_counts[32768] == 1
+
+    def test_totals_and_mean(self):
+        grid = {n: float(n) for n in GRID}
+        binned = bin_values([100.0, 1000.0, 10000.0], grid)
+        assert binned.total == 3
+        assert sum(binned.lower_counts.values()) == 3
+        assert sum(binned.upper_counts.values()) == 3
+        assert binned.mean_value == pytest.approx(np.mean([100, 1000, 10000]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bin_values([], {512: 1.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bin_values([-1.0], {512: 1.0, 2048: 2.0})
+
+    def test_non_monotone_grid_rejected(self):
+        with pytest.raises(ValueError):
+            bin_values([1.0], {512: 2.0, 2048: 1.0})
+
+    @settings(max_examples=50)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1e12, allow_nan=False),
+            min_size=1, max_size=50,
+        )
+    )
+    def test_upper_assignment_never_exceeds_lower_sizes(self, values):
+        """Property: per observation, round-down size <= round-up size,
+        so the pessimistic distribution puts mass at equal-or-smaller
+        matrix sizes than the optimistic one (stochastic dominance)."""
+        grid = {n: float(matrix_bytes(n)) for n in GRID}
+        binned = bin_values(values, grid)
+        sizes = sorted(GRID)
+        cum_lower = cum_upper = 0
+        for n in sizes:
+            cum_lower += binned.lower_counts[n]
+            cum_upper += binned.upper_counts[n]
+            assert cum_upper >= cum_lower  # upper mass sits lower/equal
+
+
+class TestBinTransferSizes:
+    def test_lammps_like_sizes(self):
+        # 9.9 MiB positions bracket (512, 2048); 19.8 MiB forces
+        # bracket (2048, 8192).
+        binned = bin_transfer_sizes(
+            [9.9 * MiB, 19.8 * MiB], GRID
+        )
+        assert binned.upper_counts[512] == 1  # positions rounded down
+        assert binned.lower_counts[2048] == 1  # positions rounded up
+        assert binned.upper_counts[2048] == 1  # forces rounded down
+        assert binned.lower_counts[8192] == 1
+
+
+class TestBinKernelDurations:
+    def test_duration_binning_against_calibration(self):
+        cal = {512: 50e-6, 2048: 1.5e-3, 8192: 60e-3, 32768: 3.8}
+        binned = bin_kernel_durations([0.9e-3], cal)
+        assert binned.upper_counts[512] == 1
+        assert binned.lower_counts[2048] == 1
+
+
+class TestTable3Bins:
+    def test_columns(self):
+        sizes = [0.5 * MiB, 10 * MiB, 100 * MiB, 1000 * MiB, 5000 * MiB]
+        bins = table3_bins(sizes)
+        assert bins == {
+            "<=1": 1, "<=16": 1, "<=256": 1, "<=4096": 1, ">4096": 1
+        }
+
+    def test_edge_inclusive(self):
+        bins = table3_bins([1 * MiB, 16 * MiB])
+        assert bins["<=1"] == 1
+        assert bins["<=16"] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            table3_bins([])

@@ -1,0 +1,105 @@
+"""Unit and property tests for slack models and distance conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    MS,
+    SlackComponents,
+    SlackModel,
+    US,
+    fibre_distance_for_latency,
+    latency_for_fibre_distance,
+    slack_budget,
+)
+
+
+class TestDistanceConversion:
+    def test_paper_headline_100us_is_20km(self):
+        # The paper: 100 us of slack = 20 km of fibre at light speed.
+        assert fibre_distance_for_latency(100 * US) == pytest.approx(20e3, rel=0.01)
+
+    def test_roundtrip_conversion(self):
+        for d in (1.0, 100.0, 20e3):
+            assert fibre_distance_for_latency(
+                latency_for_fibre_distance(d)
+            ) == pytest.approx(d)
+
+    def test_zero(self):
+        assert fibre_distance_for_latency(0.0) == 0.0
+        assert latency_for_fibre_distance(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fibre_distance_for_latency(-1.0)
+        with pytest.raises(ValueError):
+            latency_for_fibre_distance(-1.0)
+
+    @settings(max_examples=100)
+    @given(st.floats(min_value=0, max_value=1.0, allow_nan=False))
+    def test_monotone(self, latency):
+        d1 = fibre_distance_for_latency(latency)
+        d2 = fibre_distance_for_latency(latency + 1e-6)
+        assert d2 > d1
+
+
+class TestSlackComponents:
+    def test_total_composition(self):
+        comp = SlackComponents(nic_s=1e-6, switch_hop_s=0.5e-6, switch_hops=2,
+                               cable_m=0.0)
+        assert comp.total() == pytest.approx(3e-6)
+
+    def test_cable_contributes(self):
+        near = SlackComponents(cable_m=1.0)
+        far = SlackComponents(cable_m=1000.0)
+        assert far.total() > near.total()
+
+    def test_budget_inverse(self):
+        comp = SlackComponents(cable_m=0.0)
+        dist = slack_budget(100 * US, comp)
+        assert comp.total() + latency_for_fibre_distance(dist) == pytest.approx(
+            100 * US
+        )
+
+    def test_budget_exhausted_by_fixed_costs(self):
+        comp = SlackComponents(nic_s=100 * US, cable_m=0.0)
+        assert slack_budget(10 * US, comp) == 0.0
+
+
+class TestSlackModel:
+    def test_zero_model(self):
+        model = SlackModel.none()
+        assert model.is_zero
+        assert model.sample() == 0.0
+        assert model.calls_delayed == 0
+
+    def test_deterministic_sampling(self):
+        model = SlackModel(5 * US)
+        for _ in range(10):
+            assert model.sample() == 5 * US
+        assert model.calls_delayed == 10
+        assert model.total_injected_s == pytest.approx(50 * US)
+
+    def test_jittered_sampling_statistics(self):
+        rng = np.random.default_rng(42)
+        model = SlackModel(100 * US, jitter_fraction=0.2, rng=rng)
+        samples = np.array([model.sample() for _ in range(5000)])
+        assert samples.min() > 0
+        assert samples.mean() == pytest.approx(100 * US, rel=0.05)
+        assert samples.std() == pytest.approx(20 * US, rel=0.15)
+
+    def test_for_distance(self):
+        model = SlackModel.for_distance(20e3)
+        assert model.slack_s == pytest.approx(100 * US, rel=0.01)
+        assert model.equivalent_distance_m() == pytest.approx(20e3, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlackModel(-1.0)
+        with pytest.raises(ValueError):
+            SlackModel(1.0, jitter_fraction=-0.1)
+
+    def test_repr(self):
+        assert "1e-06" in repr(SlackModel(1e-6)) or "1e-06" in repr(SlackModel(1e-6))

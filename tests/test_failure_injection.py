@@ -1,0 +1,192 @@
+"""Failure-injection tests: the system degrades cleanly, not silently.
+
+Injects crashes, interrupts and invalid states into running
+simulations and checks errors propagate to the right place (the
+failing process or its waiter) while unrelated machinery keeps
+functioning.
+"""
+
+import pytest
+
+from repro.cdi import Composer, CompositionError, CPUNode, GPUChassis, ResourcePool
+from repro.des import Environment, Interrupt, SimulationError
+from repro.gpusim import CudaRuntime, KernelSpec
+from repro.hw import MiB, OutOfMemoryError
+from repro.network import SlackModel
+from repro.trace import CopyKind
+
+
+class TestProcessCrashes:
+    def test_worker_crash_propagates_to_waiter_only(self):
+        env = Environment()
+        rt = CudaRuntime(env)
+        outcomes = {}
+
+        def bad_worker():
+            yield from rt.memcpy(MiB, CopyKind.H2D)
+            raise RuntimeError("worker exploded")
+
+        def good_worker():
+            for _ in range(3):
+                yield from rt.memcpy(MiB, CopyKind.H2D)
+            outcomes["good"] = "finished"
+
+        def supervisor(bad):
+            try:
+                yield bad
+            except RuntimeError as exc:
+                outcomes["bad"] = str(exc)
+
+        bad = env.process(bad_worker())
+        env.process(good_worker())
+        env.process(supervisor(bad))
+        env.run()
+        assert outcomes == {"bad": "worker exploded", "good": "finished"}
+
+    def test_unwatched_crash_surfaces_at_run(self):
+        env = Environment()
+
+        def crasher():
+            yield env.timeout(1.0)
+            raise ValueError("nobody is watching")
+
+        env.process(crasher())
+        with pytest.raises(ValueError, match="nobody is watching"):
+            env.run()
+
+    def test_interrupted_host_leaves_runtime_usable(self):
+        env = Environment()
+        rt = CudaRuntime(env)
+        log = []
+
+        def victim():
+            try:
+                yield from rt.launch(
+                    KernelSpec(name="long", duration_s=100.0), blocking=True
+                )
+            except Interrupt:
+                log.append("interrupted")
+
+        def attacker(v):
+            yield env.timeout(1.0)
+            v.interrupt()
+
+        def late_user():
+            yield env.timeout(2.0)
+            yield from rt.launch(
+                KernelSpec(name="short", duration_s=0.5), blocking=True
+            )
+            log.append("late-user-done")
+
+        v = env.process(victim())
+        env.process(attacker(v))
+        env.process(late_user())
+        env.run(until=250.0)
+        assert "interrupted" in log
+        assert "late-user-done" in log
+
+
+class TestResourceFailureRecovery:
+    def test_composition_failure_is_atomic(self):
+        pool = ResourcePool(
+            nodes=[CPUNode("n0")],
+            chassis=[GPUChassis("c0", gpu_count=2)],
+        )
+        composer = Composer(pool)
+        # Request satisfiable cores but unsatisfiable GPUs.
+        with pytest.raises(CompositionError):
+            composer.compose("job", cores=10, gpus=5)
+        # The partial core allocation was rolled back.
+        assert pool.free_cores == 24
+        assert pool.free_gpus == 2
+        # Pool is still fully usable.
+        comp = composer.compose("job2", cores=24, gpus=2)
+        assert comp.total_cores == 24
+
+    def test_oom_mid_run_leaves_memory_consistent(self):
+        env = Environment()
+        rt = CudaRuntime(env)
+        a = rt.malloc(30 * 1024**3)
+        with pytest.raises(OutOfMemoryError):
+            rt.malloc(20 * 1024**3)
+        rt.free(a)
+        b = rt.malloc(39 * 1024**3)  # now fits
+        assert b.nbytes >= 39 * 1024**3
+
+
+class TestInvalidUseSurfacesEarly:
+    def test_yielding_garbage_is_reported_in_process(self):
+        env = Environment()
+
+        def confused():
+            try:
+                yield "not an event"
+            except SimulationError:
+                return "caught"
+
+        proc = env.process(confused())
+        env.run()
+        assert proc.value == "caught"
+
+    def test_double_release_rejected_without_corruption(self):
+        from repro.des import Resource
+
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def user():
+            req = res.request()
+            yield req
+            res.release(req)
+            with pytest.raises(SimulationError):
+                res.release(req)
+            # The resource is still grantable afterwards.
+            req2 = res.request()
+            yield req2
+            res.release(req2)
+
+        env.process(user())
+        env.run()
+        assert res.count == 0
+
+
+class TestJitteredSlack:
+    def test_jittered_slack_same_mean_similar_total(self):
+        """Log-normal jitter keeps the injected total near calls x mean."""
+        import numpy as np
+
+        env = Environment()
+        rt = CudaRuntime(
+            env,
+            slack=SlackModel(100e-6, jitter_fraction=0.3,
+                             rng=np.random.default_rng(5)),
+        )
+
+        def host():
+            for _ in range(400):
+                yield from rt.memcpy(MiB, CopyKind.H2D)
+
+        env.process(host())
+        env.run()
+        expected = 400 * 100e-6
+        assert rt.injector.total_injected_s == pytest.approx(expected, rel=0.1)
+
+    def test_jitter_does_not_change_penalty_scale(self):
+        """The starvation penalty depends on the mean slack, not its
+        variance — fixed vs jittered injection land close."""
+        import numpy as np
+
+        from repro.proxy import ProxyConfig, run_proxy
+
+        cfg = ProxyConfig(matrix_size=512, iterations=40)
+        base = run_proxy(cfg)
+
+        fixed = run_proxy(cfg, SlackModel(1e-3))
+        jittered = run_proxy(
+            cfg,
+            SlackModel(1e-3, jitter_fraction=0.25,
+                       rng=np.random.default_rng(9)),
+        )
+        p_fixed = fixed.corrected_runtime_s / base.loop_runtime_s - 1
+        p_jit = jittered.corrected_runtime_s / base.loop_runtime_s - 1
+        assert p_jit == pytest.approx(p_fixed, rel=0.2)

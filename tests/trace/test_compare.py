@@ -1,0 +1,78 @@
+"""Tests for trace comparison (baseline vs slack-run diffing)."""
+
+import pytest
+
+from repro.network import SlackModel
+from repro.proxy import ProxyConfig, run_proxy
+from repro.trace import (
+    CopyKind,
+    EventKind,
+    Trace,
+    TraceEvent,
+    compare_traces,
+)
+
+
+def kernel(name, start, end, starvation=0.0):
+    return TraceEvent(EventKind.KERNEL, name, start, end,
+                      meta={"starvation_cost": starvation})
+
+
+class TestCompareTraces:
+    def test_identical_traces_zero_delta(self):
+        t = Trace([kernel("k", 0, 1), kernel("k", 2, 3)])
+        cmp = compare_traces(t, t)
+        assert cmp.wall_delta_s == 0.0
+        assert cmp.direct_slack_s == 0.0
+        assert cmp.delta("k").ratio == pytest.approx(1.0)
+
+    def test_kernel_deltas_by_name(self):
+        base = Trace([kernel("a", 0, 1), kernel("b", 1, 2)])
+        other = Trace([kernel("a", 0, 2), kernel("b", 2, 3)])
+        cmp = compare_traces(base, other)
+        assert cmp.delta("a").ratio == pytest.approx(2.0)
+        assert cmp.delta("b").ratio == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            cmp.delta("missing")
+
+    def test_one_sided_kernel_reported(self):
+        base = Trace([kernel("a", 0, 1)])
+        other = Trace([kernel("a", 0, 1), kernel("new", 1, 2)])
+        cmp = compare_traces(base, other)
+        d = cmp.delta("new")
+        assert d.baseline_count == 0
+        assert d.other_count == 1
+        assert d.ratio == float("inf")
+
+    def test_direct_slack_summed_from_slack_events(self):
+        base = Trace([kernel("k", 0, 1)])
+        other = Trace([kernel("k", 0, 1)])
+        other.append(TraceEvent(EventKind.SLACK, "slack:x", 1.0, 1.5))
+        other.append(TraceEvent(EventKind.SLACK, "slack:y", 2.0, 2.25))
+        cmp = compare_traces(base, other)
+        assert cmp.direct_slack_s == pytest.approx(0.75)
+
+    def test_starvation_delta_from_kernel_meta(self):
+        base = Trace([kernel("k", 0, 1, starvation=0.001)])
+        other = Trace([kernel("k", 0, 1.1, starvation=0.101)])
+        cmp = compare_traces(base, other)
+        assert cmp.starvation_s == pytest.approx(0.1)
+
+    def test_traces_without_kernels_rejected(self):
+        empty = Trace()
+        full = Trace([kernel("k", 0, 1)])
+        with pytest.raises(ValueError):
+            compare_traces(empty, full)
+        with pytest.raises(ValueError):
+            compare_traces(full, empty)
+
+    def test_end_to_end_attribution_closes(self):
+        """On real proxy runs the wall delta decomposes into direct
+        slack + starvation with negligible residue."""
+        cfg = ProxyConfig(matrix_size=512, iterations=25)
+        base = run_proxy(cfg)
+        slow = run_proxy(cfg, SlackModel(1e-3))
+        cmp = compare_traces(base.trace, slow.trace)
+        assert cmp.wall_delta_s > 0
+        assert abs(cmp.unattributed_s) < 0.02 * cmp.wall_delta_s
+        assert cmp.gap_growth > 10

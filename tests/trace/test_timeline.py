@@ -1,0 +1,123 @@
+"""Tests for trace timeline analysis: gaps and utilization series."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    CopyKind,
+    EventKind,
+    Trace,
+    TraceEvent,
+    device_gaps,
+    utilization_series,
+)
+
+
+def kernel(start, end):
+    return TraceEvent(EventKind.KERNEL, "k", start, end)
+
+
+def memcpy(start, end):
+    return TraceEvent(EventKind.MEMCPY, "m", start, end, nbytes=10,
+                      copy_kind=CopyKind.H2D)
+
+
+def api(start, end):
+    return TraceEvent(EventKind.API, "a", start, end)
+
+
+class TestDeviceGaps:
+    def test_back_to_back_no_gaps(self):
+        t = Trace([kernel(0, 1), kernel(1, 2), kernel(2, 3)])
+        g = device_gaps(t)
+        assert g.count == 0
+        assert g.utilization == pytest.approx(1.0)
+        assert g.mean_gap == 0.0
+        assert g.max_gap == 0.0
+
+    def test_gaps_measured(self):
+        t = Trace([kernel(0, 1), kernel(2, 3), kernel(6, 7)])
+        g = device_gaps(t)
+        assert g.gaps == (1.0, 3.0)
+        assert g.total_gap_time == 4.0
+        assert g.mean_gap == 2.0
+        assert g.max_gap == 3.0
+        assert g.busy_time == pytest.approx(3.0)
+        assert g.span == pytest.approx(7.0)
+
+    def test_memcpys_count_as_activity(self):
+        # A copy bridging two kernels removes the gap between them.
+        t = Trace([kernel(0, 1), memcpy(1, 2), kernel(2, 3)])
+        assert device_gaps(t).count == 0
+
+    def test_api_events_do_not_count(self):
+        t = Trace([kernel(0, 1), api(1, 5), kernel(5, 6)])
+        g = device_gaps(t)
+        assert g.gaps == (4.0,)
+
+    def test_overlapping_activity_merged(self):
+        t = Trace([kernel(0, 4), kernel(1, 2), kernel(5, 6)])
+        g = device_gaps(t)
+        assert g.gaps == (1.0,)
+        assert g.busy_time == pytest.approx(5.0)
+
+    def test_min_gap_filter(self):
+        t = Trace([kernel(0, 1), kernel(1.001, 2), kernel(5, 6)])
+        g = device_gaps(t, min_gap_s=0.01)
+        assert g.gaps == (3.0,)
+
+    def test_gaps_exceeding(self):
+        t = Trace([kernel(0, 1), kernel(2, 3), kernel(6, 7)])
+        g = device_gaps(t)
+        assert g.gaps_exceeding(2.0) == 1
+        assert g.gaps_exceeding(0.5) == 2
+        with pytest.raises(ValueError):
+            g.gaps_exceeding(-1)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            device_gaps(Trace())
+        with pytest.raises(ValueError):
+            device_gaps(Trace([api(0, 1)]))
+        with pytest.raises(ValueError):
+            device_gaps(Trace([kernel(0, 1)]), min_gap_s=-1)
+
+    def test_slack_widens_gaps_integration(self):
+        """Slack injection visibly widens the traced device gaps."""
+        from repro.network import SlackModel
+        from repro.proxy import ProxyConfig, run_proxy
+
+        cfg = ProxyConfig(matrix_size=512, iterations=20)
+        quiet = device_gaps(run_proxy(cfg).trace)
+        slowed = device_gaps(
+            run_proxy(cfg, SlackModel(1e-3)).trace
+        )
+        assert slowed.mean_gap > 10 * max(quiet.mean_gap, 1e-9)
+        assert slowed.utilization < quiet.utilization
+
+
+class TestUtilizationSeries:
+    def test_fully_busy_windows(self):
+        t = Trace([kernel(0, 10)])
+        centres, util = utilization_series(t, window_s=2.0)
+        assert len(centres) == 5
+        assert np.allclose(util, 1.0)
+
+    def test_half_busy(self):
+        t = Trace([kernel(0, 1)])
+        t.append(kernel(2, 3))
+        _, util = utilization_series(t, window_s=4.0)
+        assert util[0] == pytest.approx(0.5)
+
+    def test_kind_filter(self):
+        t = Trace([kernel(0, 1), memcpy(1, 2)])
+        _, util_k = utilization_series(t, 2.0, kind=EventKind.KERNEL)
+        _, util_all = utilization_series(t, 2.0)
+        assert util_k[0] == pytest.approx(0.5)
+        assert util_all[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utilization_series(Trace([kernel(0, 1)]), window_s=0)
+        with pytest.raises(ValueError):
+            utilization_series(Trace(), window_s=1.0)
