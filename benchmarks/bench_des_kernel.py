@@ -1,0 +1,73 @@
+"""Micro-benchmark: raw event throughput of the DES kernel.
+
+Every proxy run, sweep point, and application model ultimately grinds
+through ``Environment.step``/``Event`` dispatch, so events/sec here is
+the floor under everything else in the reproduction. Two scenarios:
+
+* ``timeout_dispatch`` — one process draining a long chain of
+  timeouts: the allocation + heap + dispatch fast path;
+* ``event_handoff`` — two processes alternating through bare events:
+  the park/resume machinery (callbacks, ``Process._loop``).
+
+The measured events/sec land in BENCH_sweep.json via ``bench_extra``
+so DES hot-path changes stay visible across PRs.
+"""
+
+import time
+
+from repro.des import Environment
+
+TIMEOUT_EVENTS = 100_000
+HANDOFF_ROUNDS = 50_000
+
+
+def _drain_timeouts(n):
+    env = Environment()
+
+    def proc(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    return env.now
+
+
+def _event_handoff(rounds):
+    env = Environment()
+    box = {"ev": env.event()}
+
+    def producer(env):
+        for i in range(rounds):
+            ev = box["ev"]
+            ev.succeed(i)
+            yield env.timeout(0.0)
+
+    def consumer(env):
+        for _ in range(rounds):
+            yield box["ev"]
+            box["ev"] = env.event()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    return env.now
+
+
+def test_bench_des_timeout_dispatch(benchmark, bench_extra):
+    benchmark.pedantic(
+        lambda: _drain_timeouts(TIMEOUT_EVENTS), rounds=3, iterations=1
+    )
+    best_s = benchmark.stats.stats.min
+    bench_extra["des_timeout_events_per_sec"] = round(TIMEOUT_EVENTS / best_s)
+
+
+def test_bench_des_event_handoff(benchmark, bench_extra):
+    benchmark.pedantic(
+        lambda: _event_handoff(HANDOFF_ROUNDS), rounds=3, iterations=1
+    )
+    best_s = benchmark.stats.stats.min
+    # Each round dispatches the bare event plus the producer's timeout.
+    bench_extra["des_handoff_events_per_sec"] = round(
+        2 * HANDOFF_ROUNDS / best_s
+    )

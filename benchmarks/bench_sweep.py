@@ -1,0 +1,48 @@
+"""Benchmark: the parallel sweep execution engine itself.
+
+Measures the same compact grid sequentially and through the process
+pool, records both timings (plus the parallel/sequential ratio) into
+the BENCH_sweep.json perf artifact, and asserts the engine's core
+contract: parallel output is exactly equal to sequential output.
+
+On single-core runners the pool degenerates gracefully — the parity
+assertion still holds, only the speedup becomes uninteresting.
+"""
+
+import os
+
+from repro.proxy import run_slack_sweep
+
+#: Compact but non-trivial grid: 3 sizes x 2 thread counts x 3 slacks
+#: (+ baselines) = 24 proxy runs per mode.
+GRID = dict(
+    matrix_sizes=(512, 2048, 8192),
+    slack_values_s=(1e-6, 1e-4, 1e-2),
+    threads=(1, 2),
+    iterations=15,
+)
+
+
+def test_bench_sweep_engine(benchmark, bench_extra):
+    sequential = run_slack_sweep(**GRID, workers=1)
+
+    workers = os.cpu_count() or 1
+    parallel = benchmark.pedantic(
+        lambda: run_slack_sweep(**GRID, workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The engine's contract: fan-out must not change a single bit.
+    assert parallel.points == sequential.points
+    assert parallel.skipped == sequential.skipped
+
+    bench_extra["sweep_engine"] = {
+        "sequential": sequential.timing.to_doc(),
+        "parallel": parallel.timing.to_doc(),
+        "wall_speedup": (
+            sequential.timing.wall_s / parallel.timing.wall_s
+            if parallel.timing.wall_s > 0
+            else float("inf")
+        ),
+    }

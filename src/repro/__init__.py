@@ -31,6 +31,7 @@ from .experiments import ExperimentContext, run_all, run_experiment
 from .gpusim import CudaRuntime, KernelSpec, matmul_kernel
 from .hw import A100_SXM4_40GB, EPYC_7413, GPUSpec, NARVAL_NODE, NodeSpec
 from .model import CDIProfiler, SlackPrediction
+from .parallel import PointCache, SweepExecutor
 from .network import (
     Fabric,
     FabricSpec,
@@ -71,6 +72,8 @@ __all__ = [
     "ProxyResult",
     "run_proxy",
     "run_slack_sweep",
+    "SweepExecutor",
+    "PointCache",
     "SlackResponseSurface",
     "LJParams",
     "LammpsScalingModel",

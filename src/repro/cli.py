@@ -55,12 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write results as a Markdown report")
     run_p.add_argument("--chart", action="store_true",
                        help="render figure series as ASCII charts")
+    _add_parallel_flags(run_p)
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--full", action="store_true",
                        help="use the paper's full run lengths")
     all_p.add_argument("--output", metavar="PATH",
                        help="also write results as a Markdown report")
+    _add_parallel_flags(all_p)
 
     slack_p = sub.add_parser("slack", help="slack <-> fibre distance")
     slack_p.add_argument("seconds", type=float, help="one-way slack in seconds")
@@ -94,7 +96,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--iterations", type=int, default=25,
                          help="loop iterations per point (default 25; "
                               "0 = auto-calibrate like the paper)")
+    _add_parallel_flags(sweep_p)
     return parser
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared parallel-execution and caching flags."""
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for sweeps/experiments "
+                             "(default 1 = sequential; 0 = all CPU cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the per-point and surface caches "
+                             "(recompute everything)")
+
+
+def _resolve_workers(args: argparse.Namespace) -> int:
+    """Map the CLI convention (0 = auto) to a concrete worker count."""
+    import os
+
+    workers = getattr(args, "workers", 1)
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise SystemExit("--workers must be >= 0")
+    return workers
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -123,7 +148,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
 
-    ctx = ExperimentContext(quick=not args.full)
+    workers = _resolve_workers(args)
+    ctx = ExperimentContext(
+        quick=not args.full,
+        workers=workers,
+        use_cache=not getattr(args, "no_cache", False),
+    )
     if args.command == "all":
         targets = experiment_ids()
     else:
@@ -134,6 +164,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             print(f"available: {', '.join(experiment_ids())}", file=sys.stderr)
             return 2
+
+    if args.command == "all" and workers > 1:
+        from .experiments import run_all
+
+        t0 = time.time()
+        results = run_all(ctx, workers=workers)
+        for result in results:
+            print(result.render())
+            print()
+        print(f"[{len(results)} experiments, {workers} workers: "
+              f"{time.time() - t0:.1f}s]")
+        if getattr(args, "output", None):
+            from .experiments import write_markdown_report
+
+            path = write_markdown_report(results, args.output)
+            print(f"markdown report written to {path}")
+        return 0
 
     results = []
     for eid in targets:
@@ -193,6 +240,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run a custom proxy sweep and print the surface."""
+    from .experiments.context import default_cache_dir
+    from .parallel import PointCache
     from .proxy import (
         PAPER_MATRIX_SIZES,
         PAPER_SLACK_VALUES_S,
@@ -204,12 +253,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     slacks = sorted(args.slacks or PAPER_SLACK_VALUES_S)
     threads = args.threads or [1]
     iterations = args.iterations if args.iterations > 0 else None
+    cache = (
+        None if args.no_cache
+        else PointCache(default_cache_dir() / "points")
+    )
     sweep = run_slack_sweep(
         matrix_sizes=matrix_sizes,
         slack_values_s=slacks,
         threads=threads,
         iterations=iterations,
+        workers=_resolve_workers(args),
+        cache=cache,
     )
+    if sweep.timing is not None:
+        t = sweep.timing
+        print(
+            f"[{t.grid_points} grid points in {t.wall_s:.2f}s "
+            f"({t.points_per_sec:.1f} pts/s, {t.cached} cached, "
+            f"{t.workers} worker(s), {t.mode})]",
+            file=sys.stderr,
+        )
     for n, t, reason in sweep.skipped:
         print(f"skipped matrix {n} x {t} threads: {reason}", file=sys.stderr)
     if not sweep.points:

@@ -27,8 +27,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
@@ -64,6 +64,11 @@ NORMAL = 1
 #: (used for process initialization and interrupts).
 URGENT = 0
 
+#: Bit position packing (priority, sequence) into one heap-key integer:
+#: same-time events order by priority first, then insertion sequence.
+#: 52 bits of sequence (~4.5e15 events) before priorities could collide.
+_PRIORITY_SHIFT = 52
+
 
 class Event:
     """An event that may happen at some point in simulated time.
@@ -82,8 +87,14 @@ class Event:
     def __init__(self, env: "Environment") -> None:
         self.env = env
         #: Callables invoked with this event when it is processed. Set
-        #: to ``None`` once processed.
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        #: to ``None`` once processed. Lists are recycled through the
+        #: environment's free pool: most events carry exactly one
+        #: callback, and reusing the list spares one allocation per
+        #: event on the dispatch hot path.
+        pool = env._cb_pool
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = (
+            pool.pop() if pool else []
+        )
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
@@ -184,11 +195,26 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts dominate simulations, so this constructor is the
+        # allocation fast path: initialize the event inline (already
+        # triggered, no state transitions to guard) and push the heap
+        # entry directly instead of going through Event.__init__ +
+        # Environment.schedule.
+        self.env = env
+        pool = env._cb_pool
+        self.callbacks = pool.pop() if pool else []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(
+            env._queue,
+            (
+                env._now + delay,
+                (NORMAL << _PRIORITY_SHIFT) | env._next_eid(),
+                self,
+            ),
+        )
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -234,7 +260,7 @@ class Process(Event):
     Other processes can therefore ``yield`` a process to wait for it.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "_send", "_throw")
 
     def __init__(
         self,
@@ -246,6 +272,10 @@ class Process(Event):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self.generator = generator
+        # Bound once: the resume loop runs these for every yielded
+        # event, and the attribute chain lookup is measurable there.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on, if any.
         self._target: Optional[Event] = None
@@ -288,22 +318,20 @@ class Process(Event):
                 pass
         self._loop(event)
 
-    def _resume(self, event: Event) -> None:
-        self._loop(event)
-
     def _loop(self, event: Event) -> None:
         """Advance the generator until it yields an untriggered event."""
         env = self.env
         env._active_proc = self
+        send = self._send
         while True:
             try:
                 if event._ok:
-                    next_event = self.generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The event failed; re-raise inside the process.
                     event._defused = True
                     exc = event._value
-                    next_event = self.generator.throw(exc)
+                    next_event = self._throw(exc)
             except StopIteration as exc:
                 # Process finished successfully.
                 self._ok = True
@@ -349,6 +377,12 @@ class Process(Event):
         # Only reached on termination (StopIteration or crash).
         self._target = None
         env._active_proc = None
+
+    #: Resume entry point registered as an event callback. Aliased to
+    #: :meth:`_loop` so dispatching an event into a parked process costs
+    #: one Python frame instead of two; bound-method equality keeps
+    #: interrupt detachment (``callbacks.remove(self._resume)``) intact.
+    _resume = _loop
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} at {id(self):#x}>"
@@ -442,9 +476,17 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        # Heap entries are (time, packed key, event): priority and the
+        # insertion sequence share one integer (see _PRIORITY_SHIFT),
+        # which keeps entries at three slots and tie-breaking at a
+        # single int comparison.
+        self._queue: list[tuple[float, int, Event]] = []
         self._eid = itertools.count()
+        self._next_eid = self._eid.__next__
         self._active_proc: Optional[Process] = None
+        # Recycled callback lists (see Event.__init__); bounded so a
+        # burst of events cannot pin memory forever.
+        self._cb_pool: list[list[Callable[[Event], None]]] = []
 
     # -- introspection ------------------------------------------------------
     @property
@@ -489,27 +531,44 @@ class Environment:
         self, event: Event, priority: int = NORMAL, delay: float = 0.0
     ) -> None:
         """Queue ``event`` to be processed after ``delay`` time units."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+        heappush(
+            self._queue,
+            (
+                self._now + delay,
+                (priority << _PRIORITY_SHIFT) | self._next_eid(),
+                event,
+            ),
         )
 
     def step(self) -> None:
         """Process the single next event, advancing time to it."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        self._now, _, event = heappop(queue)
 
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
-        for callback in callbacks:
-            callback(event)
+        if len(callbacks) == 1:
+            # The overwhelmingly common case (one process parked on the
+            # event): skip the loop machinery.
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
 
         if not event._ok and not event._defused:
             # Nobody handled the failure: crash the simulation.
             exc = event._value
             raise exc
+
+        # Recycle the callback list (detached above, so no live
+        # references remain) for the next event's construction.
+        pool = self._cb_pool
+        if len(pool) < 256:
+            callbacks.clear()
+            pool.append(callbacks)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -540,9 +599,10 @@ class Environment:
                 self.schedule(stop_event, priority=URGENT, delay=at - self._now)
                 stop_event.callbacks.append(_stop_simulation)
 
+        step = self.step
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:

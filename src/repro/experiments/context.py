@@ -3,8 +3,17 @@
 The Table IV / validation experiments all need the proxy's slack
 response surface and the two application profiles — the expensive
 artifacts of the reproduction. :class:`ExperimentContext` builds them
-once per configuration and caches the surface on disk (JSON) so
-repeated benchmark runs don't re-sweep.
+once per configuration and caches them on disk so repeated benchmark
+runs don't re-sweep.
+
+Caching is two-layered. The primary store is the **per-point cache**
+(:class:`repro.parallel.PointCache` under ``.cache/points/``): one
+content-addressed entry per (ProxyConfig, slack) pair, so partial
+grids, grid extensions and interrupted sweeps reuse every point ever
+measured. On top of it, the context still materializes the legacy
+whole-surface JSON (``surface-<digest>.json``) as a compatibility shim
+— existing tooling that reads those files keeps working, and a fully
+warm surface file short-circuits even the per-point lookups.
 """
 
 from __future__ import annotations
@@ -23,11 +32,13 @@ from ..apps import (
 )
 from ..apps.base import AppProfile
 from ..apps.lammps import LJParams
+from ..parallel import PointCache
 from ..proxy import (
     PAPER_MATRIX_SIZES,
     PAPER_SLACK_VALUES_S,
     PAPER_THREAD_COUNTS,
     SlackResponseSurface,
+    SweepTiming,
     run_slack_sweep,
 )
 
@@ -46,14 +57,24 @@ class ExperimentContext:
     ``quick`` trades fidelity for speed: fixed 25-iteration proxy
     runs and shortened application profiling runs. The full mode uses
     the paper's auto-calibrated iteration counts and run lengths.
+
+    ``workers`` parallelizes the proxy sweep over a process pool
+    (``1`` = sequential, ``None`` = ``os.cpu_count()``); parallel and
+    sequential surfaces are identical. ``use_cache=False`` disables
+    both cache layers (every run re-measures).
     """
 
     quick: bool = True
     cache_dir: Optional[Path] = None
+    workers: Optional[int] = 1
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         self._surface: Optional[SlackResponseSurface] = None
         self._profiles: Dict[str, AppProfile] = {}
+        #: Timing of the sweep that built the surface this process
+        #: (None if the surface came from the whole-surface shim).
+        self.sweep_timing: Optional[SweepTiming] = None
 
     # -- proxy surface -----------------------------------------------------------
     @property
@@ -74,15 +95,28 @@ class ExperimentContext:
             slack_values_s=PAPER_SLACK_VALUES_S,
             threads=PAPER_THREAD_COUNTS,
             iterations=self.sweep_iterations,
+            workers=self.workers,
+            cache=self.point_cache(),
         )
+        self.sweep_timing = sweep.timing
         self._surface = SlackResponseSurface(sweep)
         if cache is not None:
             cache.parent.mkdir(parents=True, exist_ok=True)
             self._surface.to_json(cache)
         return self._surface
 
+    def point_cache(self) -> Optional[PointCache]:
+        """The per-point result store (None when caching is disabled)."""
+        if not self.use_cache:
+            return None
+        return PointCache(self._cache_base() / "points")
+
+    def _cache_base(self) -> Path:
+        return self.cache_dir if self.cache_dir is not None else default_cache_dir()
+
     def _surface_cache_path(self) -> Optional[Path]:
-        base = self.cache_dir if self.cache_dir is not None else default_cache_dir()
+        if not self.use_cache:
+            return None
         key = json.dumps(
             {
                 "matrix_sizes": PAPER_MATRIX_SIZES,
@@ -94,7 +128,7 @@ class ExperimentContext:
             sort_keys=True,
         )
         digest = hashlib.sha256(key.encode()).hexdigest()[:16]
-        return base / f"surface-{digest}.json"
+        return self._cache_base() / f"surface-{digest}.json"
 
     # -- application profiles ------------------------------------------------------
     def lammps_config(self) -> LammpsProfileConfig:

@@ -7,6 +7,10 @@ function; the CLI and the benchmark harness both dispatch through
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .context import ExperimentContext
@@ -76,7 +80,56 @@ def run_experiment(
     return EXPERIMENTS[experiment_id](ctx)
 
 
-def run_all(ctx: Optional[ExperimentContext] = None) -> List[ExperimentResult]:
-    """Run every experiment, sharing one context (and its caches)."""
+def run_all(
+    ctx: Optional[ExperimentContext] = None, workers: int = 1
+) -> List[ExperimentResult]:
+    """Run every experiment, sharing one context (and its caches).
+
+    Experiments are independent of each other once the shared artifacts
+    exist, so ``workers > 1`` fans them out over a process pool: the
+    parent first builds the proxy surface (warming the disk caches),
+    then each worker rebuilds an equivalent context that loads those
+    caches instead of re-sweeping. Results come back in registry order
+    regardless of completion order. Falls back to the sequential loop
+    on platforms without ``fork`` or where pools cannot start.
+    """
     ctx = ctx or ExperimentContext()
-    return [run_experiment(eid, ctx) for eid in EXPERIMENTS]
+    ids = experiment_ids()
+    if workers <= 1 or len(ids) <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        return [run_experiment(eid, ctx) for eid in ids]
+
+    # Warm the shared disk caches once so workers load, not re-measure.
+    ctx.surface()
+    try:
+        mp_ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(ids)),
+            mp_context=mp_ctx,
+            initializer=_init_worker_context,
+            initargs=(ctx.quick, ctx.cache_dir, ctx.use_cache),
+        ) as pool:
+            return list(pool.map(_run_in_worker, ids))
+    except (OSError, PermissionError, BrokenProcessPool):
+        # Pool unavailable (restricted environment): same results,
+        # sequentially.
+        return [run_experiment(eid, ctx) for eid in ids]
+
+
+#: Per-worker-process context, created once by the pool initializer.
+_WORKER_CTX: Optional[ExperimentContext] = None
+
+
+def _init_worker_context(
+    quick: bool, cache_dir: Optional[Path], use_cache: bool
+) -> None:
+    global _WORKER_CTX
+    # Workers stay sequential internally — the experiment level is the
+    # parallel axis here; nesting pools would only oversubscribe.
+    _WORKER_CTX = ExperimentContext(
+        quick=quick, cache_dir=cache_dir, workers=1, use_cache=use_cache
+    )
+
+
+def _run_in_worker(experiment_id: str) -> ExperimentResult:
+    assert _WORKER_CTX is not None
+    return run_experiment(experiment_id, _WORKER_CTX)

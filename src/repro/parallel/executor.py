@@ -1,0 +1,169 @@
+"""Parallel sweep execution: fan independent grid points over processes.
+
+:class:`SweepExecutor` takes an ordered list of :class:`PointTask`s and
+returns their measurements **in the same order**, so parallel output is
+byte-identical to sequential. Internally it
+
+1. resolves as many tasks as possible from the per-point
+   :class:`~repro.parallel.PointCache` (when one is attached),
+2. fans the misses out over a ``concurrent.futures
+   .ProcessPoolExecutor`` (fork start method, chunked so each worker
+   amortizes dispatch overhead),
+3. falls back to a deterministic in-process loop for ``workers=1``,
+   platforms without ``fork``, or a pool that fails to start
+   (restricted sandboxes), and
+4. writes fresh measurements back to the cache.
+
+Every run leaves an :class:`ExecutorStats` on ``executor.stats`` —
+wall time, points/sec, cached-vs-measured split, and the
+speedup-vs-sequential implied by the per-point timings — which the
+sweep layer surfaces on :class:`~repro.proxy.SweepResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Sequence
+
+from .point import PointMeasurement, PointTask, measure_point
+from .pointcache import PointCache
+
+__all__ = ["ExecutorStats", "SweepExecutor"]
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """Timing and provenance of one executor run."""
+
+    wall_s: float
+    tasks: int
+    measured: int
+    cached: int
+    workers: int
+    mode: str  # "process" or "inline"
+    point_seconds: float  # summed per-point wall time of fresh measurements
+
+    @property
+    def points_per_sec(self) -> float:
+        """Grid points resolved (cached or measured) per wall second."""
+        return self.tasks / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        """Summed per-point time over wall time (1.0 when sequential).
+
+        Only fresh measurements count: a fully cached run reports 0
+        point-seconds, not an artificial speedup.
+        """
+        return self.point_seconds / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class SweepExecutor:
+    """Executes point tasks over a process pool with per-point caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``. ``1`` always
+        runs in-process (deterministic, no pool).
+    cache:
+        Optional :class:`PointCache`; hits skip the proxy run entirely
+        and fresh results are written back.
+    chunk_size:
+        Tasks per worker dispatch; default splits the miss list into
+        roughly four chunks per worker so stragglers rebalance while
+        interpreter/dispatch startup still amortizes.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[PointCache] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for cpu_count)")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        #: Stats of the most recent :meth:`run` (None before first use).
+        self.stats: Optional[ExecutorStats] = None
+
+    def run(self, tasks: Sequence[PointTask]) -> List[PointMeasurement]:
+        """Resolve every task, preserving input order exactly."""
+        tasks = list(tasks)
+        t0 = perf_counter()
+        results: List[Optional[PointMeasurement]] = [None] * len(tasks)
+
+        # 1. Cache pass: resolve known points without running anything.
+        miss_idx: List[int] = []
+        if self.cache is not None:
+            for i, task in enumerate(tasks):
+                hit = self.cache.get(task.config, task.slack_s)
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    miss_idx.append(i)
+        else:
+            miss_idx = list(range(len(tasks)))
+        cached = len(tasks) - len(miss_idx)
+
+        # 2. Measure the misses — pooled when it can help, else inline.
+        mode = "inline"
+        workers_used = 1
+        if miss_idx:
+            miss_tasks = [tasks[i] for i in miss_idx]
+            pool_workers = min(self.workers, len(miss_tasks))
+            measured: Optional[List[PointMeasurement]] = None
+            if pool_workers > 1 and fork_available():
+                try:
+                    measured = self._run_pool(miss_tasks, pool_workers)
+                    mode = "process"
+                    workers_used = pool_workers
+                except (OSError, PermissionError, BrokenProcessPool):
+                    # Pool could not start or died (e.g. sandboxed
+                    # environments without process spawning): the
+                    # in-process path below produces identical results.
+                    measured = None
+            if measured is None:
+                measured = [measure_point(task) for task in miss_tasks]
+            for i, m in zip(miss_idx, measured):
+                results[i] = m
+                if self.cache is not None:
+                    self.cache.put(tasks[i].config, tasks[i].slack_s, m)
+
+        wall = perf_counter() - t0
+        self.stats = ExecutorStats(
+            wall_s=wall,
+            tasks=len(tasks),
+            measured=len(miss_idx),
+            cached=cached,
+            workers=workers_used,
+            mode=mode,
+            point_seconds=sum(results[i].elapsed_s for i in miss_idx),
+        )
+        return results  # type: ignore[return-value]
+
+    def _run_pool(
+        self, miss_tasks: List[PointTask], pool_workers: int
+    ) -> List[PointMeasurement]:
+        chunk = self.chunk_size or max(
+            1, len(miss_tasks) // (pool_workers * 4)
+        )
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=pool_workers, mp_context=ctx
+        ) as pool:
+            # map() yields results in submission order regardless of
+            # completion order — the determinism guarantee.
+            return list(pool.map(measure_point, miss_tasks, chunksize=chunk))

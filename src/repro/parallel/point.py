@@ -1,0 +1,119 @@
+"""The unit of parallel sweep work: one (config, slack) proxy run.
+
+A sweep grid decomposes into independent *point tasks* — every
+``(ProxyConfig, slack)`` pair is one deterministic DES run with no
+shared state — which is what lets :class:`~repro.parallel.SweepExecutor`
+fan a grid out over worker processes and cache each measurement
+individually.
+
+:func:`measure_point` is the worker entry point. It must stay a
+module-level function (``ProcessPoolExecutor`` pickles it by reference)
+and must return only plain scalars (the full :class:`~repro.trace.Trace`
+of a run is deliberately dropped: it is large, and the sweep layer only
+consumes the aggregate runtimes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..hw import OutOfMemoryError
+from ..network import SlackModel
+from ..proxy.matmul import ProxyConfig, run_proxy
+
+__all__ = ["PointTask", "PointMeasurement", "measure_point"]
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One grid point to measure: a proxy config plus a slack value.
+
+    ``slack_s == 0.0`` is the zero-slack baseline run of its
+    configuration (executed with ``SlackModel.none()``, exactly like
+    the sequential sweep's baseline).
+    """
+
+    config: ProxyConfig
+    slack_s: float
+
+
+@dataclass(frozen=True)
+class PointMeasurement:
+    """Scalar outcome of one point task (picklable, JSON-serializable).
+
+    ``ok=False`` records a deterministic failure — in practice the
+    proxy's out-of-memory rejection of configurations whose matrices
+    exceed device memory — with the error message in ``error``.
+    ``elapsed_s`` is the host wall-clock time the measurement took
+    (``time.perf_counter``), which the executor aggregates into the
+    sweep's points/sec and speedup-vs-sequential statistics.
+    """
+
+    ok: bool
+    error: str = ""
+    loop_runtime_s: float = 0.0
+    corrected_runtime_s: float = 0.0
+    iterations: int = 0
+    kernel_time_s: float = 0.0
+    injected_slack_s: float = 0.0
+    starvation_cost_s: float = 0.0
+    elapsed_s: float = 0.0
+
+    def to_doc(self) -> Dict[str, Any]:
+        """Plain-dict form for the on-disk point cache."""
+        return {
+            "ok": self.ok,
+            "error": self.error,
+            "loop_runtime_s": self.loop_runtime_s,
+            "corrected_runtime_s": self.corrected_runtime_s,
+            "iterations": self.iterations,
+            "kernel_time_s": self.kernel_time_s,
+            "injected_slack_s": self.injected_slack_s,
+            "starvation_cost_s": self.starvation_cost_s,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "PointMeasurement":
+        """Rebuild a measurement from its cached dict form."""
+        return cls(
+            ok=bool(doc["ok"]),
+            error=str(doc.get("error", "")),
+            loop_runtime_s=float(doc.get("loop_runtime_s", 0.0)),
+            corrected_runtime_s=float(doc.get("corrected_runtime_s", 0.0)),
+            iterations=int(doc.get("iterations", 0)),
+            kernel_time_s=float(doc.get("kernel_time_s", 0.0)),
+            injected_slack_s=float(doc.get("injected_slack_s", 0.0)),
+            starvation_cost_s=float(doc.get("starvation_cost_s", 0.0)),
+            elapsed_s=float(doc.get("elapsed_s", 0.0)),
+        )
+
+
+def measure_point(task: PointTask) -> PointMeasurement:
+    """Run one proxy grid point and reduce it to scalars.
+
+    Out-of-memory configurations (the paper's 2^15 exclusion above 2
+    threads) come back as ``ok=False`` measurements rather than
+    exceptions so a worker pool never tears down mid-grid; any other
+    exception is a genuine bug and propagates.
+    """
+    slack = SlackModel.none() if task.slack_s == 0.0 else SlackModel(task.slack_s)
+    t0 = time.perf_counter()
+    try:
+        run = run_proxy(task.config, slack)
+    except OutOfMemoryError as exc:
+        return PointMeasurement(
+            ok=False, error=str(exc), elapsed_s=time.perf_counter() - t0
+        )
+    return PointMeasurement(
+        ok=True,
+        loop_runtime_s=run.loop_runtime_s,
+        corrected_runtime_s=run.corrected_runtime_s,
+        iterations=run.iterations,
+        kernel_time_s=run.kernel_time_s,
+        injected_slack_s=run.injected_slack_s,
+        starvation_cost_s=run.starvation_cost_s,
+        elapsed_s=time.perf_counter() - t0,
+    )

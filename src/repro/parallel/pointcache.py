@@ -1,0 +1,124 @@
+"""Content-addressed per-point result store for proxy sweeps.
+
+The old surface cache was all-or-nothing: one JSON blob keyed on the
+whole grid, so adding a single slack value re-swept everything. This
+store instead keeps **one entry per (ProxyConfig, slack) pair**, keyed
+by a stable hash of the full config dataclass (including the GPU and
+PCIe specs it embeds), the slack value, and a code version tag. Partial
+grids, grid extensions and interrupted sweeps therefore reuse every
+point ever measured, and changing any field that affects the simulation
+— or bumping :data:`POINT_CACHE_VERSION` after a behavioral change to
+the simulator — automatically misses.
+
+Layout: ``<root>/<first two hash chars>/<hash>.json``, one small JSON
+document per point. Delete the directory (or call
+:meth:`PointCache.clear`) to drop the cache; entries are never trusted
+blindly — unreadable or malformed files count as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..proxy.matmul import ProxyConfig
+from .point import PointMeasurement
+
+__all__ = ["POINT_CACHE_VERSION", "PointCache", "point_key"]
+
+#: Bump whenever simulator changes alter what a (config, slack) point
+#: measures — stale entries must not survive a behavioral change.
+POINT_CACHE_VERSION = "2026.08-1"
+
+
+def point_key(
+    config: ProxyConfig, slack_s: float, version: str = POINT_CACHE_VERSION
+) -> str:
+    """Stable content hash identifying one sweep point.
+
+    The key covers every ``ProxyConfig`` field (nested hardware specs
+    included, via ``dataclasses.asdict``), the slack value, and the
+    cache version tag. JSON with sorted keys keeps the digest stable
+    across processes and Python versions; floats round-trip exactly
+    through ``repr`` so distinct values never collide.
+    """
+    payload = json.dumps(
+        {
+            "config": dataclasses.asdict(config),
+            "slack_s": slack_s,
+            "version": version,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PointCache:
+    """Directory-backed store of :class:`PointMeasurement` by content key."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        version: str = POINT_CACHE_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.version = version
+
+    def path_for(self, config: ProxyConfig, slack_s: float) -> Path:
+        """On-disk location of one point's entry."""
+        key = point_key(config, slack_s, self.version)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(
+        self, config: ProxyConfig, slack_s: float
+    ) -> Optional[PointMeasurement]:
+        """Cached measurement for a point, or ``None`` on a miss."""
+        path = self.path_for(config, slack_s)
+        try:
+            doc = json.loads(path.read_text())
+            return PointMeasurement.from_doc(doc)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(
+        self, config: ProxyConfig, slack_s: float, measurement: PointMeasurement
+    ) -> Path:
+        """Store one measurement; returns the entry's path.
+
+        Writes via a temporary file + rename so a crashed or
+        interrupted sweep never leaves a torn entry behind.
+        """
+        path = self.path_for(config, slack_s)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(measurement.to_doc()))
+        tmp.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently stored."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        for sub in self.root.glob("*"):
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed

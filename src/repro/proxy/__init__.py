@@ -28,6 +28,7 @@ from .sweep import (
     PAPER_THREAD_COUNTS,
     SweepPoint,
     SweepResult,
+    SweepTiming,
     run_slack_sweep,
 )
 
@@ -46,6 +47,7 @@ __all__ = [
     "run_slack_sweep",
     "SweepPoint",
     "SweepResult",
+    "SweepTiming",
     "PAPER_MATRIX_SIZES",
     "PAPER_SLACK_VALUES_S",
     "PAPER_THREAD_COUNTS",

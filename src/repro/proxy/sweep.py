@@ -6,16 +6,27 @@ the paper's grid — matrix sizes 2^9..2^15 in steps of 2^2, slack
 correction, and normalizes against the zero-slack baseline of the same
 configuration. The result is the slack response surface Figures 3(a-c)
 plot and the prediction model (Eq 2-3) consumes.
+
+Every grid point is an independent DES run, so the sweep fans out over
+:class:`repro.parallel.SweepExecutor` — ``workers=1`` (the default)
+reproduces the historical strictly-sequential behavior in-process,
+``workers=N`` uses a process pool, and both orderings are guaranteed
+identical because the executor returns measurements in grid order.
+Attaching a :class:`repro.parallel.PointCache` makes re-sweeps and
+grid extensions reuse every previously measured point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from ..hw import OutOfMemoryError
-from ..network import SlackModel
-from .matmul import ProxyConfig, run_proxy
+from ..hw import OutOfMemoryError  # noqa: F401  (re-exported legacy import)
+from ..network import SlackModel  # noqa: F401  (re-exported legacy import)
+from .matmul import ProxyConfig, run_proxy  # noqa: F401
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel import PointCache, SweepExecutor
 
 __all__ = [
     "PAPER_MATRIX_SIZES",
@@ -23,6 +34,7 @@ __all__ = [
     "PAPER_THREAD_COUNTS",
     "SweepPoint",
     "SweepResult",
+    "SweepTiming",
     "run_slack_sweep",
 ]
 
@@ -64,19 +76,79 @@ class SweepPoint:
         return self.normalized_runtime - 1.0
 
 
+@dataclass(frozen=True)
+class SweepTiming:
+    """Wall-clock instrumentation of one sweep execution."""
+
+    #: End-to-end wall time of the sweep (includes cache resolution).
+    wall_s: float
+    #: Grid points resolved in total (baselines included).
+    grid_points: int
+    #: Points actually measured this run (cache misses).
+    measured: int
+    #: Points served from the per-point cache.
+    cached: int
+    #: Worker processes used ("inline" mode always reports 1).
+    workers: int
+    #: "process" (pool) or "inline" (deterministic in-process loop).
+    mode: str
+    #: Summed per-point measurement time (the sequential-equivalent cost).
+    point_seconds: float
+
+    @property
+    def points_per_sec(self) -> float:
+        """Grid points resolved per wall second."""
+        return self.grid_points / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        """Summed per-point time over wall time (~1.0 when sequential)."""
+        return self.point_seconds / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_doc(self) -> Dict[str, float]:
+        """Plain-dict form for perf artifacts (BENCH_sweep.json)."""
+        return {
+            "wall_s": self.wall_s,
+            "grid_points": self.grid_points,
+            "measured": self.measured,
+            "cached": self.cached,
+            "workers": self.workers,
+            "mode": self.mode,
+            "point_seconds": self.point_seconds,
+            "points_per_sec": self.points_per_sec,
+            "speedup_vs_sequential": self.speedup_vs_sequential,
+        }
+
+
 @dataclass
 class SweepResult:
     """All points of a sweep, indexable by configuration."""
 
     points: List[SweepPoint] = field(default_factory=list)
     skipped: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: Execution instrumentation (None for hand-assembled results).
+    timing: Optional[SweepTiming] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        # O(1) exact-lookup index; kept in sync by add().
+        self._index: Dict[Tuple[int, int, float], SweepPoint] = {
+            (p.matrix_size, p.threads, p.slack_s): p for p in self.points
+        }
 
     def add(self, point: SweepPoint) -> None:
         """Record one measured point."""
         self.points.append(point)
+        self._index[(point.matrix_size, point.threads, point.slack_s)] = point
 
     def get(self, matrix_size: int, threads: int, slack_s: float) -> SweepPoint:
-        """Exact lookup of one grid point."""
+        """Exact lookup of one grid point (O(1) on the grid key).
+
+        Falls back to a tolerance scan for slack values that are
+        float-close to a grid value without being bit-identical.
+        """
+        point = self._index.get((matrix_size, threads, slack_s))
+        if point is not None:
+            return point
         for p in self.points:
             if (
                 p.matrix_size == matrix_size
@@ -110,6 +182,9 @@ def run_slack_sweep(
     threads: Sequence[int] = (1,),
     iterations: Optional[int] = None,
     target_compute_s: float = 30.0,
+    workers: Optional[int] = 1,
+    cache: Optional["PointCache"] = None,
+    executor: Optional["SweepExecutor"] = None,
 ) -> SweepResult:
     """Measure the slack response surface over a parameter grid.
 
@@ -117,33 +192,78 @@ def run_slack_sweep(
     recorded in ``SweepResult.skipped`` (the paper's 2^15 exclusion
     above 2 threads). ``iterations`` overrides auto-calibration (keeps
     tests fast); ``target_compute_s`` shortens the calibration budget.
+
+    ``workers`` > 1 fans the grid out over a process pool and ``None``
+    means ``os.cpu_count()``; results are returned in the same
+    deterministic grid order either way. ``cache``
+    attaches a per-point result store so previously measured points are
+    never re-run; ``executor`` substitutes a fully custom executor
+    (its ``workers``/``cache`` then take precedence).
     """
+    from ..parallel import PointTask, SweepExecutor
+
+    # Grid order is the contract: threads-major, then matrix size, then
+    # the baseline followed by the slack values — exactly the historical
+    # sequential loop nesting.
+    configs = [
+        ProxyConfig(
+            matrix_size=n,
+            threads=t,
+            iterations=iterations,
+            target_compute_s=target_compute_s,
+        )
+        for t in threads
+        for n in matrix_sizes
+    ]
+    tasks: List[PointTask] = []
+    for config in configs:
+        tasks.append(PointTask(config, 0.0))
+        tasks.extend(PointTask(config, s) for s in slack_values_s)
+
+    ex = executor if executor is not None else SweepExecutor(
+        workers=workers, cache=cache
+    )
+    measurements = ex.run(tasks)
+
     result = SweepResult()
-    for t in threads:
-        for n in matrix_sizes:
-            config = ProxyConfig(
-                matrix_size=n,
-                threads=t,
-                iterations=iterations,
-                target_compute_s=target_compute_s,
+    i = 0
+    for config in configs:
+        baseline = measurements[i]
+        i += 1
+        if not baseline.ok:
+            # The baseline OOMed: the whole series is unmeasurable (its
+            # slack points failed identically) — record the one skip the
+            # sequential sweep records and move past the series.
+            result.skipped.append(
+                (config.matrix_size, config.threads, baseline.error)
             )
-            try:
-                baseline = run_proxy(config, SlackModel.none())
-            except OutOfMemoryError as exc:
-                result.skipped.append((n, t, str(exc)))
-                continue
-            for slack_s in slack_values_s:
-                run = run_proxy(config, SlackModel(slack_s))
-                result.add(
-                    SweepPoint(
-                        matrix_size=n,
-                        threads=t,
-                        slack_s=slack_s,
-                        loop_runtime_s=run.loop_runtime_s,
-                        corrected_runtime_s=run.corrected_runtime_s,
-                        baseline_runtime_s=baseline.loop_runtime_s,
-                        iterations=run.iterations,
-                        kernel_time_s=run.kernel_time_s,
-                    )
+            i += len(slack_values_s)
+            continue
+        for slack_s in slack_values_s:
+            m = measurements[i]
+            i += 1
+            result.add(
+                SweepPoint(
+                    matrix_size=config.matrix_size,
+                    threads=config.threads,
+                    slack_s=slack_s,
+                    loop_runtime_s=m.loop_runtime_s,
+                    corrected_runtime_s=m.corrected_runtime_s,
+                    baseline_runtime_s=baseline.loop_runtime_s,
+                    iterations=m.iterations,
+                    kernel_time_s=m.kernel_time_s,
                 )
+            )
+
+    stats = ex.stats
+    if stats is not None:
+        result.timing = SweepTiming(
+            wall_s=stats.wall_s,
+            grid_points=stats.tasks,
+            measured=stats.measured,
+            cached=stats.cached,
+            workers=stats.workers,
+            mode=stats.mode,
+            point_seconds=stats.point_seconds,
+        )
     return result

@@ -93,3 +93,28 @@ class TestSweep:
         captured = capsys.readouterr()
         assert code == 1
         assert "skipped" in captured.err
+
+
+class TestParallelFlags:
+    def test_sweep_accepts_workers_and_no_cache(self, capsys):
+        assert main(["sweep", "--matrix", "512", "--slack", "1e-4",
+                     "--iterations", "5", "--workers", "2",
+                     "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "512" in captured.out
+        assert "grid points" in captured.err  # timing line
+
+    def test_sweep_rejects_negative_workers(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--matrix", "512", "--slack", "1e-4",
+                  "--iterations", "5", "--workers", "-1"])
+
+    def test_run_accepts_workers_flag(self, capsys):
+        assert main(["run", "table1", "--workers", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_workers_zero_means_all_cores(self):
+        args = build_parser().parse_args(["sweep", "--workers", "0"])
+        from repro.cli import _resolve_workers
+        import os
+        assert _resolve_workers(args) == (os.cpu_count() or 1)

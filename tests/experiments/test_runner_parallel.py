@@ -1,0 +1,31 @@
+"""Tests for parallel experiment execution in run_all."""
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_all, run_experiment
+from repro.experiments.runner import experiment_ids
+from repro.parallel import fork_available
+
+
+class TestRunAllParallel:
+    @pytest.fixture(scope="class")
+    def shared_cache(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("cache")
+
+    def test_workers_one_is_sequential(self, shared_cache):
+        ctx = ExperimentContext(quick=True, cache_dir=shared_cache)
+        results = run_all(ctx, workers=1)
+        assert [r.experiment_id for r in results] == experiment_ids()
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork")
+    def test_parallel_matches_sequential(self, shared_cache):
+        ctx = ExperimentContext(quick=True, cache_dir=shared_cache)
+        results = run_all(ctx, workers=2)
+        # Registry order regardless of completion order.
+        assert [r.experiment_id for r in results] == experiment_ids()
+        # Spot-check determinism: a worker-produced artifact renders
+        # identically to one computed in this process from the same
+        # disk caches.
+        direct = run_experiment("table1", ctx)
+        parallel_table1 = results[experiment_ids().index("table1")]
+        assert parallel_table1.render() == direct.render()

@@ -1,0 +1,50 @@
+"""Wall-clock speedup of the parallel sweep engine.
+
+The acceptance bar: on a >= 4-core runner, the paper's quick grid runs
+at least 2x faster with a worker pool than sequentially, while
+producing exactly equal points. Single- and dual-core environments
+skip the ratio assertion (the pool cannot win there) but the parity
+contract is still covered by tests/parallel/test_executor.py.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel import fork_available
+from repro.proxy import (
+    PAPER_MATRIX_SIZES,
+    PAPER_SLACK_VALUES_S,
+    PAPER_THREAD_COUNTS,
+    run_slack_sweep,
+)
+
+#: The paper's quick grid (the surface ExperimentContext builds), with
+#: enough iterations that compute dominates pool startup.
+QUICK_PAPER_GRID = dict(
+    matrix_sizes=PAPER_MATRIX_SIZES,
+    slack_values_s=PAPER_SLACK_VALUES_S,
+    threads=PAPER_THREAD_COUNTS,
+    iterations=40,
+)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4 or not fork_available(),
+    reason="speedup bar needs >= 4 cores and fork",
+)
+def test_quick_grid_speedup_at_least_2x():
+    workers = min(os.cpu_count() or 1, 8)
+    sequential = run_slack_sweep(**QUICK_PAPER_GRID, workers=1)
+    parallel = run_slack_sweep(**QUICK_PAPER_GRID, workers=workers)
+
+    assert parallel.points == sequential.points
+    assert parallel.skipped == sequential.skipped
+    assert parallel.timing.mode == "process"
+
+    speedup = sequential.timing.wall_s / parallel.timing.wall_s
+    assert speedup >= 2.0, (
+        f"parallel sweep only {speedup:.2f}x faster "
+        f"({sequential.timing.wall_s:.2f}s -> {parallel.timing.wall_s:.2f}s "
+        f"with {workers} workers)"
+    )
