@@ -15,7 +15,8 @@ Quickstart
 >>> penalty = slowed.corrected_runtime_s / base.loop_runtime_s - 1
 
 See ``examples/`` for complete scenarios and ``repro.experiments`` for
-the per-paper-artifact runners.
+the per-paper-artifact runners. The *supported* import surface — the
+names covered by the deprecation policy — is :mod:`repro.api`.
 """
 
 from .apps import (
@@ -31,6 +32,14 @@ from .experiments import ExperimentContext, run_all, run_experiment
 from .gpusim import CudaRuntime, KernelSpec, matmul_kernel
 from .hw import A100_SXM4_40GB, EPYC_7413, GPUSpec, NARVAL_NODE, NodeSpec
 from .model import CDIProfiler, SlackPrediction
+from .obs import (
+    MetricsRegistry,
+    RunReport,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+)
 from .parallel import PointCache, SweepExecutor
 from .network import (
     Fabric,
@@ -86,4 +95,10 @@ __all__ = [
     "ExperimentContext",
     "run_experiment",
     "run_all",
+    "MetricsRegistry",
+    "RunReport",
+    "enable_metrics",
+    "disable_metrics",
+    "get_registry",
+    "collecting",
 ]

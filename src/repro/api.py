@@ -1,0 +1,160 @@
+"""The stable public API of the reproduction.
+
+``repro.api`` is the supported import surface: everything listed in
+``__all__`` here follows the compatibility policy in
+``docs/observability.md`` — names are only removed after a deprecation
+cycle (one release of ``DeprecationWarning``), execution knobs are
+keyword-only with one canonical spelling (``workers=``, ``cache=``),
+and new releases may *add* names but never change the meaning of
+existing ones.
+
+Importing from submodules (``repro.proxy``, ``repro.parallel``, ...)
+keeps working, but only this module's surface is covered by the
+stability promise. Typical use::
+
+    from repro.api import (
+        ExperimentContext, run_slack_sweep, collecting,
+    )
+
+    with collecting() as registry:
+        sweep = run_slack_sweep(iterations=25, workers=4)
+    print(sweep.report.render())
+
+The surface groups into six layers:
+
+simulation core
+    :class:`Environment` (the DES engine), :class:`CudaRuntime`,
+    :class:`KernelSpec`, :func:`matmul_kernel`, :class:`Trace`,
+    :class:`Tracer`.
+hardware & network models
+    :class:`GPUSpec`, :class:`NodeSpec`, the ``A100_SXM4_40GB`` /
+    ``EPYC_7413`` / ``NARVAL_NODE`` catalog entries,
+    :class:`SlackModel`, :class:`Fabric`, :class:`FabricSpec`,
+    :func:`fibre_distance_for_latency`,
+    :func:`latency_for_fibre_distance`.
+proxy methodology & prediction
+    :class:`ProxyConfig`, :class:`ProxyResult`, :func:`run_proxy`,
+    :func:`run_slack_sweep`, :class:`SweepResult`,
+    :class:`SweepTiming`, :class:`SlackResponseSurface`,
+    :class:`CDIProfiler`, :class:`SlackPrediction`.
+application models
+    :class:`LJParams`, :class:`LammpsScalingModel`,
+    :class:`LammpsProfileConfig`, :func:`profile_lammps`,
+    :class:`CosmoFlowProfileConfig`, :func:`profile_cosmoflow`.
+parallel execution
+    :class:`SweepExecutor`, :class:`PointCache`.
+experiments & observability
+    :class:`ExperimentContext`, :func:`run_experiment`,
+    :func:`run_all`, :class:`MetricsRegistry`, :class:`RunReport`,
+    :func:`enable_metrics`, :func:`disable_metrics`,
+    :func:`get_registry`, :func:`collecting`.
+"""
+
+from __future__ import annotations
+
+from . import __version__
+from .apps import (
+    CosmoFlowProfileConfig,
+    LammpsProfileConfig,
+    LammpsScalingModel,
+    LJParams,
+    profile_cosmoflow,
+    profile_lammps,
+)
+from .des import Environment
+from .experiments import ExperimentContext, run_all, run_experiment
+from .gpusim import CudaRuntime, KernelSpec, matmul_kernel
+from .hw import (
+    A100_SXM4_40GB,
+    EPYC_7413,
+    GPUSpec,
+    NARVAL_NODE,
+    NodeSpec,
+    OutOfMemoryError,
+)
+from .model import CDIProfiler, SlackPrediction
+from .network import (
+    Fabric,
+    FabricSpec,
+    SlackModel,
+    fibre_distance_for_latency,
+    latency_for_fibre_distance,
+)
+from .obs import (
+    MetricsRegistry,
+    RunReport,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+)
+from .parallel import PointCache, SweepExecutor
+from .proxy import (
+    PAPER_MATRIX_SIZES,
+    PAPER_SLACK_VALUES_S,
+    PAPER_THREAD_COUNTS,
+    ProxyConfig,
+    ProxyResult,
+    SlackResponseSurface,
+    SweepResult,
+    SweepTiming,
+    run_proxy,
+    run_slack_sweep,
+)
+from .trace import Trace, Tracer
+
+__all__ = [
+    "__version__",
+    # simulation core
+    "Environment",
+    "CudaRuntime",
+    "KernelSpec",
+    "matmul_kernel",
+    "Trace",
+    "Tracer",
+    # hardware & network models
+    "GPUSpec",
+    "NodeSpec",
+    "A100_SXM4_40GB",
+    "EPYC_7413",
+    "NARVAL_NODE",
+    "OutOfMemoryError",
+    "SlackModel",
+    "Fabric",
+    "FabricSpec",
+    "fibre_distance_for_latency",
+    "latency_for_fibre_distance",
+    # proxy methodology & prediction
+    "PAPER_MATRIX_SIZES",
+    "PAPER_SLACK_VALUES_S",
+    "PAPER_THREAD_COUNTS",
+    "ProxyConfig",
+    "ProxyResult",
+    "run_proxy",
+    "run_slack_sweep",
+    "SweepResult",
+    "SweepTiming",
+    "SlackResponseSurface",
+    "CDIProfiler",
+    "SlackPrediction",
+    # application models
+    "LJParams",
+    "LammpsScalingModel",
+    "LammpsProfileConfig",
+    "profile_lammps",
+    "CosmoFlowProfileConfig",
+    "profile_cosmoflow",
+    # parallel execution
+    "SweepExecutor",
+    "PointCache",
+    # experiments & observability
+    "ExperimentContext",
+    "run_experiment",
+    "run_all",
+    "MetricsRegistry",
+    "RunReport",
+    "enable_metrics",
+    "disable_metrics",
+    "get_registry",
+    "collecting",
+]

@@ -10,10 +10,15 @@ Subcommands:
 * ``slack <seconds>`` — quick slack-to-distance conversion;
 * ``profile {lammps,cosmoflow}`` — trace an application model and
   predict its slack penalty (optionally exporting the trace);
-* ``sweep`` — measure a slack response surface on a custom grid.
+* ``sweep`` — measure a slack response surface on a custom grid;
+* ``metrics`` — render a RunReport JSON (see docs/observability.md)
+  as a human-readable table.
 
 ``--full`` switches from the quick configuration (short runs, fixed
-proxy iterations) to the paper's full run lengths.
+proxy iterations) to the paper's full run lengths. ``--metrics-out
+PATH`` (on ``run``/``all``/``sweep``) enables the :mod:`repro.obs`
+metrics registry for the invocation and writes the resulting
+:class:`~repro.obs.RunReport` as JSON.
 """
 
 from __future__ import annotations
@@ -97,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="loop iterations per point (default 25; "
                               "0 = auto-calibrate like the paper)")
     _add_parallel_flags(sweep_p)
+
+    metrics_p = sub.add_parser(
+        "metrics", help="render a RunReport JSON as a human-readable table"
+    )
+    metrics_p.add_argument(
+        "report", nargs="?", metavar="PATH",
+        help="RunReport JSON to render (omit to run a small demo sweep "
+             "with metrics enabled and render its report)",
+    )
     return parser
 
 
@@ -108,6 +122,9 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the per-point and surface caches "
                              "(recompute everything)")
+    parser.add_argument("--metrics-out", metavar="PATH", dest="metrics_out",
+                        help="enable the metrics registry for this run and "
+                             "write a RunReport JSON to PATH")
 
 
 def _resolve_workers(args: argparse.Namespace) -> int:
@@ -147,12 +164,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
 
     workers = _resolve_workers(args)
+    metrics_out = _maybe_enable_metrics(args)
     ctx = ExperimentContext(
         quick=not args.full,
         workers=workers,
-        use_cache=not getattr(args, "no_cache", False),
+        cache=not getattr(args, "no_cache", False),
     )
     if args.command == "all":
         targets = experiment_ids()
@@ -180,6 +200,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             path = write_markdown_report(results, args.output)
             print(f"markdown report written to {path}")
+        _write_metrics_report(
+            metrics_out, kind="all",
+            meta={"experiments": targets, "workers": workers},
+        )
         return 0
 
     results = []
@@ -201,6 +225,68 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         path = write_markdown_report(results, args.output)
         print(f"markdown report written to {path}")
+    _write_metrics_report(
+        metrics_out, kind=args.command,
+        meta={"experiments": targets, "workers": workers},
+    )
+    return 0
+
+
+def _maybe_enable_metrics(args: argparse.Namespace) -> Optional[str]:
+    """Enable the metrics registry if ``--metrics-out`` was given."""
+    path = getattr(args, "metrics_out", None)
+    if path:
+        from .obs import enable_metrics
+
+        enable_metrics()
+    return path
+
+
+def _write_metrics_report(
+    path: Optional[str],
+    kind: str,
+    meta: Optional[dict] = None,
+    report=None,
+) -> None:
+    """Write (and announce) the RunReport of a ``--metrics-out`` run."""
+    if not path:
+        return
+    from .obs import RunReport, disable_metrics, get_registry
+
+    if report is None:
+        report = RunReport.collect(get_registry(), kind=kind, meta=meta or {})
+    report.to_json(path)
+    disable_metrics()
+    print(f"metrics report written to {path}", file=sys.stderr)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a RunReport JSON (or a fresh demo report) as a table."""
+    from .obs import RunReport, collecting
+
+    if args.report:
+        try:
+            report = RunReport.from_json(args.report)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read report {args.report!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0
+
+    # No file given: measure a tiny sweep with metrics enabled and
+    # render its report, so `repro metrics` is self-demonstrating.
+    from .proxy import run_slack_sweep
+
+    with collecting():
+        sweep = run_slack_sweep(
+            matrix_sizes=[512],
+            slack_values_s=[1e-5, 1e-3],
+            threads=[1],
+            iterations=5,
+        )
+    assert sweep.report is not None
+    print(sweep.report.render())
     return 0
 
 
@@ -253,6 +339,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     slacks = sorted(args.slacks or PAPER_SLACK_VALUES_S)
     threads = args.threads or [1]
     iterations = args.iterations if args.iterations > 0 else None
+    metrics_out = _maybe_enable_metrics(args)
     cache = (
         None if args.no_cache
         else PointCache(default_cache_dir() / "points")
@@ -273,6 +360,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{t.workers} worker(s), {t.mode})]",
             file=sys.stderr,
         )
+    _write_metrics_report(metrics_out, kind="sweep", report=sweep.report)
     for n, t, reason in sweep.skipped:
         print(f"skipped matrix {n} x {t} threads: {reason}", file=sys.stderr)
     if not sweep.points:

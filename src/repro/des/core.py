@@ -503,6 +503,27 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Pull-style kernel telemetry for :mod:`repro.obs`.
+
+        Deliberately computed from state the hot path already
+        maintains — reading it costs nothing per event, which is how
+        the metrics layer keeps the dispatch loop untouched. Every
+        heap entry consumes one event id, so ids issued minus entries
+        still pending is exactly the number of dispatched events.
+        """
+        # itertools.count exposes its next value through the pickle
+        # protocol ((count, (n,)) from __reduce__) without consuming it.
+        scheduled = self._eid.__reduce__()[1][0]
+        pending = len(self._queue)
+        return {
+            "events_scheduled": float(scheduled),
+            "events_dispatched": float(scheduled - pending),
+            "heap_depth": float(pending),
+            "cb_pool_free": float(len(self._cb_pool)),
+            "sim_time_s": self._now,
+        }
+
     # -- event construction shortcuts ----------------------------------------
     def event(self) -> Event:
         """Create a fresh, untriggered :class:`Event`."""

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+import warnings
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..apps import (
     CosmoFlowProfileConfig,
@@ -50,7 +50,6 @@ def default_cache_dir() -> Path:
     return Path(__file__).resolve().parents[3] / ".cache"
 
 
-@dataclass
 class ExperimentContext:
     """Configuration + lazily built shared artifacts.
 
@@ -58,23 +57,61 @@ class ExperimentContext:
     runs and shortened application profiling runs. The full mode uses
     the paper's auto-calibrated iteration counts and run lengths.
 
-    ``workers`` parallelizes the proxy sweep over a process pool
-    (``1`` = sequential, ``None`` = ``os.cpu_count()``); parallel and
-    sequential surfaces are identical. ``use_cache=False`` disables
-    both cache layers (every run re-measures).
+    The execution knobs are keyword-only, spelled exactly like
+    :func:`repro.proxy.run_slack_sweep`'s (the stable ``repro.api``
+    contract): ``workers`` parallelizes the proxy sweep over a process
+    pool (``1`` = sequential, ``None`` = ``os.cpu_count()``); parallel
+    and sequential surfaces are identical. ``cache`` controls the two
+    cache layers: ``True`` (default) uses the repo-local cache dir,
+    ``False`` disables caching entirely (every run re-measures), and a
+    :class:`~repro.parallel.PointCache` instance substitutes a custom
+    per-point store. ``use_cache`` is the deprecated spelling of
+    ``cache`` and will be removed in a future release.
     """
 
-    quick: bool = True
-    cache_dir: Optional[Path] = None
-    workers: Optional[int] = 1
-    use_cache: bool = True
-
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        quick: bool = True,
+        *,
+        cache_dir: Optional[Path] = None,
+        workers: Optional[int] = 1,
+        cache: Union[bool, PointCache] = True,
+        use_cache: Optional[bool] = None,
+    ) -> None:
+        if use_cache is not None:
+            warnings.warn(
+                "ExperimentContext(use_cache=...) is deprecated; "
+                "use the canonical cache=... keyword instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            cache = use_cache
+        self.quick = quick
+        self.cache_dir = cache_dir
+        self.workers = workers
+        self.cache = cache
         self._surface: Optional[SlackResponseSurface] = None
         self._profiles: Dict[str, AppProfile] = {}
         #: Timing of the sweep that built the surface this process
         #: (None if the surface came from the whole-surface shim).
         self.sweep_timing: Optional[SweepTiming] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentContext(quick={self.quick!r}, "
+            f"cache_dir={self.cache_dir!r}, workers={self.workers!r}, "
+            f"cache={self.cache!r})"
+        )
+
+    @property
+    def use_cache(self) -> bool:
+        """Deprecated alias for ``cache`` (as a plain boolean)."""
+        warnings.warn(
+            "ExperimentContext.use_cache is deprecated; read .cache",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return bool(self.cache)
 
     # -- proxy surface -----------------------------------------------------------
     @property
@@ -107,7 +144,9 @@ class ExperimentContext:
 
     def point_cache(self) -> Optional[PointCache]:
         """The per-point result store (None when caching is disabled)."""
-        if not self.use_cache:
+        if isinstance(self.cache, PointCache):
+            return self.cache
+        if not self.cache:
             return None
         return PointCache(self._cache_base() / "points")
 
@@ -115,7 +154,7 @@ class ExperimentContext:
         return self.cache_dir if self.cache_dir is not None else default_cache_dir()
 
     def _surface_cache_path(self) -> Optional[Path]:
-        if not self.use_cache:
+        if not self.cache:
             return None
         key = json.dumps(
             {

@@ -10,9 +10,10 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from pathlib import Path
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
+from ..obs import get_registry
 from .context import ExperimentContext
 from .report import ExperimentResult
 from . import (
@@ -81,52 +82,77 @@ def run_experiment(
 
 
 def run_all(
-    ctx: Optional[ExperimentContext] = None, workers: int = 1
+    ctx: Optional[ExperimentContext] = None, *, workers: int = 1
 ) -> List[ExperimentResult]:
     """Run every experiment, sharing one context (and its caches).
 
     Experiments are independent of each other once the shared artifacts
-    exist, so ``workers > 1`` fans them out over a process pool: the
+    exist, so ``workers > 1`` (keyword-only, like every execution knob
+    on the stable API) fans them out over a process pool: the
     parent first builds the proxy surface (warming the disk caches),
     then each worker rebuilds an equivalent context that loads those
     caches instead of re-sweeping. Results come back in registry order
     regardless of completion order. Falls back to the sequential loop
     on platforms without ``fork`` or where pools cannot start.
+
+    When metrics are enabled (:mod:`repro.obs`), per-experiment wall
+    times are published into the ``experiments`` section of the active
+    registry (sequential path: one histogram observation per
+    experiment; pool path: one batch wall-time total).
     """
     ctx = ctx or ExperimentContext()
     ids = experiment_ids()
     if workers <= 1 or len(ids) <= 1 or "fork" not in multiprocessing.get_all_start_methods():
-        return [run_experiment(eid, ctx) for eid in ids]
+        return _run_all_sequential(ids, ctx)
 
     # Warm the shared disk caches once so workers load, not re-measure.
     ctx.surface()
     try:
         mp_ctx = multiprocessing.get_context("fork")
+        t0 = perf_counter()
         with ProcessPoolExecutor(
             max_workers=min(workers, len(ids)),
             mp_context=mp_ctx,
             initializer=_init_worker_context,
-            initargs=(ctx.quick, ctx.cache_dir, ctx.use_cache),
+            initargs=(ctx.quick, ctx.cache_dir, ctx.cache),
         ) as pool:
-            return list(pool.map(_run_in_worker, ids))
+            results = list(pool.map(_run_in_worker, ids))
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("experiments.runs").inc(len(results))
+            reg.counter("experiments.batch_wall_s").inc(perf_counter() - t0)
+            reg.gauge("experiments.workers").set(min(workers, len(ids)))
+        return results
     except (OSError, PermissionError, BrokenProcessPool):
         # Pool unavailable (restricted environment): same results,
         # sequentially.
-        return [run_experiment(eid, ctx) for eid in ids]
+        return _run_all_sequential(ids, ctx)
+
+
+def _run_all_sequential(
+    ids: List[str], ctx: ExperimentContext
+) -> List[ExperimentResult]:
+    reg = get_registry()
+    results = []
+    for eid in ids:
+        t0 = perf_counter()
+        results.append(run_experiment(eid, ctx))
+        if reg.enabled:
+            reg.counter("experiments.runs").inc()
+            reg.histogram("experiments.wall_s").observe(perf_counter() - t0)
+    return results
 
 
 #: Per-worker-process context, created once by the pool initializer.
 _WORKER_CTX: Optional[ExperimentContext] = None
 
 
-def _init_worker_context(
-    quick: bool, cache_dir: Optional[Path], use_cache: bool
-) -> None:
+def _init_worker_context(quick, cache_dir, cache) -> None:
     global _WORKER_CTX
     # Workers stay sequential internally — the experiment level is the
     # parallel axis here; nesting pools would only oversubscribe.
     _WORKER_CTX = ExperimentContext(
-        quick=quick, cache_dir=cache_dir, workers=1, use_cache=use_cache
+        quick=quick, cache_dir=cache_dir, workers=1, cache=cache
     )
 
 

@@ -101,7 +101,13 @@ class CudaRuntime:
         self._streams: Dict[int, Stream] = {}
         self.default_stream = self.create_stream()
 
+        # Always-on lightweight accounting (API-level, not the DES hot
+        # loop), pulled by repro.obs.simulation_snapshot after a run.
         self.api_calls = 0
+        self.kernel_launches = 0
+        self.memcpy_count = 0
+        self.memcpy_bytes_h2d = 0
+        self.memcpy_bytes_d2h = 0
 
     # -- configuration -----------------------------------------------------------
     @property
@@ -172,6 +178,7 @@ class CudaRuntime:
             transfer_time=self.pcie.transfer_time(nbytes),
         )
         yield stream.submit(op)
+        self._account_memcpy(nbytes, kind)
         self._record_api("cudaMemcpyAsync", start, corr, thread)
         yield from self.injector.after_call("cudaMemcpyAsync", thread)
         return op
@@ -202,6 +209,7 @@ class CudaRuntime:
         )
         yield stream.submit(op)
         yield op.completion
+        self._account_memcpy(nbytes, kind)
         self._record_api("cudaMemcpy", start, corr, thread)
         yield from self.injector.after_call("cudaMemcpy", thread)
         return op
@@ -237,6 +245,7 @@ class CudaRuntime:
         yield stream.submit(op)
         if blocking:
             yield op.completion
+        self.kernel_launches += 1
         self._record_api("cudaLaunchKernel", start, corr, thread)
         yield from self.injector.after_call("cudaLaunchKernel", thread)
         return op
@@ -260,6 +269,7 @@ class CudaRuntime:
             for s in self._streams.values():
                 yield s.drained()
             name = "cudaDeviceSynchronize"
+        self.api_calls += 1
         self.tracer.record(
             EventKind.SYNC, name, start, self.env.now, correlation_id=corr,
             thread=thread,
@@ -282,7 +292,15 @@ class CudaRuntime:
     def _record_api(
         self, name: str, start: float, corr: int, thread: int
     ) -> None:
+        self.api_calls += 1
         self.tracer.record(
             EventKind.API, name, start, self.env.now, correlation_id=corr,
             thread=thread,
         )
+
+    def _account_memcpy(self, nbytes: int, kind: CopyKind) -> None:
+        self.memcpy_count += 1
+        if kind is CopyKind.H2D:
+            self.memcpy_bytes_h2d += nbytes
+        else:
+            self.memcpy_bytes_d2h += nbytes

@@ -51,6 +51,9 @@ class Link:
         self._wire = Resource(env, capacity=1)
         self.bytes_carried = 0.0
         self.messages_carried = 0
+        #: Accumulated simulated time messages spent queued for the
+        #: wire (contention-induced queueing delay; 0 on an idle link).
+        self.queue_wait_s = 0.0
 
     def transmit(self, nbytes: float) -> Event:
         """Process-event that completes when ``nbytes`` have arrived."""
@@ -60,8 +63,10 @@ class Link:
 
     def _transmit(self, nbytes: float) -> Generator[Event, None, None]:
         serialization = nbytes / self.spec.bandwidth_Bps
+        queued_at = self.env.now
         with self._wire.request() as req:
             yield req
+            self.queue_wait_s += self.env.now - queued_at
             yield self.env.timeout(serialization)
         # Propagation happens off the wire.
         yield self.env.timeout(self.spec.latency_s)
@@ -92,14 +97,18 @@ class NIC:
         self.spec = spec
         self._engine = Resource(env, capacity=1)
         self.messages_processed = 0
+        #: Accumulated simulated time messages waited for the engine.
+        self.queue_wait_s = 0.0
 
     def inject(self, nbytes: float) -> Event:
         """Process-event completing when the NIC has injected the message."""
         return self.env.process(self._inject(nbytes), name=f"{self.spec.name}-inj")
 
     def _inject(self, nbytes: float) -> Generator[Event, None, None]:
+        queued_at = self.env.now
         with self._engine.request() as req:
             yield req
+            self.queue_wait_s += self.env.now - queued_at
             yield self.env.timeout(
                 self.spec.processing_s + nbytes / self.spec.injection_rate_Bps
             )

@@ -1,0 +1,419 @@
+"""Lightweight metrics primitives: counters, gauges, histograms, timers.
+
+The reproduction's layers (DES kernel, GPU runtime, fabric, parallel
+sweep engine) all publish into one :class:`MetricsRegistry` so every
+run can leave a comparable telemetry artifact (see
+:mod:`repro.obs.report`). Two design rules keep the subsystem honest:
+
+* **Disabled by default, near-zero cost when disabled.** The global
+  registry starts as a :class:`NullRegistry` whose instruments are
+  shared no-op singletons — ``counter("x").inc()`` through it is two
+  attribute lookups and an empty method call, and the simulator hot
+  paths avoid even that by publishing *snapshots* after a run instead
+  of instrumenting per-event (see :mod:`repro.obs.publish`).
+* **Pull-friendly.** Instruments are plain objects with ``value`` /
+  ``to_doc()``; the registry dumps to a nested plain dict, namespaced
+  ``section.metric`` (e.g. ``des.events_dispatched``), which is the
+  exact shape :class:`repro.obs.RunReport` serializes.
+
+Enable collection for a scope with :func:`collecting`::
+
+    with collecting() as registry:
+        run_slack_sweep(...)
+        report = RunReport.collect(registry, kind="sweep")
+
+or process-wide with :func:`enable_metrics` / :func:`disable_metrics`
+(what the CLI's ``--metrics-out`` does).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "collecting",
+    "enable_metrics",
+    "disable_metrics",
+    "get_registry",
+    "metrics_enabled",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events dispatched, cache hits)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_doc(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self._value:g}>"
+
+
+class Gauge:
+    """A point-in-time value that can go up or down (heap depth)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_doc(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self._value:g}>"
+
+
+class Histogram:
+    """A distribution of observed values with exact percentiles.
+
+    Observations are kept raw (the workloads publishing here observe
+    at most a few thousand values per run — per-point wall times,
+    per-experiment durations), so percentiles are exact: linear
+    interpolation between closest ranks, the same convention as
+    ``numpy.percentile``'s default.
+    """
+
+    __slots__ = ("name", "help", "_values", "_sorted")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self.sum / len(self._values)
+
+    @property
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return min(self._values)
+
+    @property
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return max(self._values)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 <= p <= 100), interpolated."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self._values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        values = self._values
+        rank = (len(values) - 1) * p / 100.0
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return values[int(rank)]
+        frac = rank - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    def to_doc(self) -> Dict[str, float]:
+        """Summary dict: count/sum/mean/min/p50/p90/p99/max."""
+        if not self._values:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class Timer:
+    """Context manager observing elapsed wall seconds into a histogram.
+
+    >>> reg = MetricsRegistry()
+    >>> with reg.timer("sweep.point_wall_s"):
+    ...     pass
+    """
+
+    __slots__ = ("histogram", "_t0")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        assert self._t0 is not None
+        self.histogram.observe(time.perf_counter() - self._t0)
+        self._t0 = None
+
+
+class MetricsRegistry:
+    """A namespace of named instruments every layer publishes into.
+
+    Instrument names are dotted: ``<section>.<metric>`` (the section is
+    the publishing layer — ``des``, ``gpu``, ``fabric``, ``cache``,
+    ``executor``, ``experiments``). Asking for an existing name returns
+    the existing instrument, so independent publishers accumulate into
+    shared counters; asking for it with a different instrument kind is
+    an error.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls: type, help: str) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, help)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(name, Histogram, help)
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        return Timer(self.histogram(name, help))
+
+    def get(self, name: str) -> Optional[Any]:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def clear(self) -> None:
+        """Drop every instrument (fresh registry semantics)."""
+        self._instruments.clear()
+
+    def to_doc(self) -> Dict[str, Dict[str, Any]]:
+        """Nested plain-dict dump: ``{section: {metric: value}}``.
+
+        Histograms dump as their summary dict; counters and gauges as
+        bare numbers. Metrics without a dot land in section ``""``.
+        """
+        doc: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._instruments):
+            section, _, metric = name.rpartition(".")
+            doc.setdefault(section, {})[metric] = self._instruments[
+                name
+            ].to_doc()
+        return doc
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind when disabled.
+
+    All mutating methods discard their arguments; reading values is an
+    error (disabled metrics have no data), which catches code that
+    forgets to check :func:`metrics_enabled` before consuming.
+    """
+
+    __slots__ = ()
+    name = "<disabled>"
+    help = ""
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullInstrument>"
+
+
+#: The one shared no-op instrument (identity-comparable in tests).
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled registry: every lookup returns the no-op singleton."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def to_doc(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+#: The one shared disabled registry.
+_NULL_REGISTRY = NullRegistry()
+
+#: Process-wide active registry; swapped by enable/disable. Guarded by
+#: a lock only on the swap (reads are a single attribute load).
+_active: Union[MetricsRegistry, NullRegistry] = _NULL_REGISTRY
+_swap_lock = threading.Lock()
+
+
+def get_registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The active registry (the shared null registry when disabled)."""
+    return _active
+
+
+def metrics_enabled() -> bool:
+    """Whether a real registry is currently collecting."""
+    return _active.enabled
+
+
+def enable_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the active registry."""
+    global _active
+    with _swap_lock:
+        reg = registry if registry is not None else MetricsRegistry()
+        _active = reg
+    return reg
+
+
+def disable_metrics() -> None:
+    """Restore the no-op registry (the default state)."""
+    global _active
+    with _swap_lock:
+        _active = _NULL_REGISTRY
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable metrics for a ``with`` block, restoring the prior state.
+
+    Yields the collecting registry; nested uses stack correctly.
+    """
+    global _active
+    with _swap_lock:
+        prior = _active
+        reg = registry if registry is not None else MetricsRegistry()
+        _active = reg
+    try:
+        yield reg
+    finally:
+        with _swap_lock:
+            _active = prior

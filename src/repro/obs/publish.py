@@ -1,0 +1,156 @@
+"""Publication glue: turn simulator state into registry metrics.
+
+The DES kernel and GPU runtime are the reproduction's hot paths, so
+they are **not** instrumented per event. Instead, each layer exposes
+cheap pull-style accessors (``Environment.metrics_snapshot``, the
+``CudaRuntime`` call/byte counters, ``Link``/``NIC`` carry counters)
+and this module snapshots them *once per run* into the active
+:class:`~repro.obs.MetricsRegistry`:
+
+* :func:`simulation_snapshot` — reduce one finished simulation
+  (environment + optional runtime) to a flat ``{dotted name: value}``
+  dict. This is what :func:`repro.proxy.run_proxy` attaches to every
+  :class:`~repro.proxy.ProxyResult`, and what sweep workers ship back
+  to the parent process inside :class:`~repro.parallel.PointMeasurement`.
+* :func:`publish_snapshot` — fold such a dict into the registry
+  (additive metrics accumulate into counters, per-run metrics like
+  engine utilization become histogram observations).
+* :func:`publish_executor` / :func:`publish_link` — same idea for the
+  parallel engine's :class:`~repro.parallel.ExecutorStats` and for
+  fabric links.
+
+Everything here is a no-op (beyond a dict build the caller asked for)
+when metrics are disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from .metrics import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..des import Environment
+    from ..gpusim import CudaRuntime
+    from ..network.link import Link, NIC
+    from ..parallel.executor import ExecutorStats
+
+__all__ = [
+    "simulation_snapshot",
+    "publish_snapshot",
+    "publish_executor",
+    "publish_link",
+    "publish_nic",
+]
+
+#: Snapshot keys that are *per-run observations* (distributions across
+#: runs), not additive totals: they land in histograms. Everything else
+#: accumulates into a counter.
+_HISTOGRAM_KEYS = frozenset(
+    {
+        "des.heap_depth",
+        "des.cb_pool_free",
+        "gpu.compute_utilization",
+        "gpu.copy_h2d_utilization",
+        "gpu.copy_d2h_utilization",
+        "gpu.stream_count",
+    }
+)
+
+
+def simulation_snapshot(
+    env: "Environment", runtime: Optional["CudaRuntime"] = None
+) -> Dict[str, float]:
+    """Reduce one simulation to flat scalar telemetry.
+
+    Sections produced: ``des.*`` always; ``gpu.*`` and ``fabric.*``
+    when a :class:`~repro.gpusim.CudaRuntime` is given (the fabric
+    numbers come from its :class:`~repro.gpusim.interception.SlackInjector`,
+    the emulation point where CDI fabric latency enters a run).
+    """
+    snap: Dict[str, float] = {
+        f"des.{key}": value for key, value in env.metrics_snapshot().items()
+    }
+    if runtime is not None:
+        util = runtime.engine_utilization()
+        snap.update(
+            {
+                "gpu.kernel_launches": float(runtime.kernel_launches),
+                "gpu.api_calls": float(runtime.api_calls),
+                "gpu.memcpy_h2d_bytes": float(runtime.memcpy_bytes_h2d),
+                "gpu.memcpy_d2h_bytes": float(runtime.memcpy_bytes_d2h),
+                "gpu.memcpy_count": float(runtime.memcpy_count),
+                "gpu.stream_count": float(len(runtime.streams)),
+                "gpu.compute_utilization": util["compute"],
+                "gpu.copy_h2d_utilization": util["copy_h2d"],
+                "gpu.copy_d2h_utilization": util["copy_d2h"],
+                "gpu.starvation_cost_s": runtime.total_starvation_cost(),
+                "fabric.calls_intercepted": float(
+                    runtime.injector.calls_intercepted
+                ),
+                "fabric.slack_calls": float(runtime.injector.calls_delayed),
+                "fabric.slack_injected_s": runtime.injector.total_injected_s,
+            }
+        )
+    return snap
+
+
+def publish_snapshot(
+    snapshot: Dict[str, float],
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Fold one flat snapshot dict into the (active) registry."""
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled or not snapshot:
+        return
+    for name, value in snapshot.items():
+        if name in _HISTOGRAM_KEYS:
+            reg.histogram(name).observe(value)
+        else:
+            reg.counter(name).inc(value)
+
+
+def publish_executor(
+    stats: "ExecutorStats",
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Publish one executor run: throughput, cache split, utilization."""
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("executor.runs").inc()
+    reg.counter("executor.points").inc(stats.tasks)
+    reg.counter("executor.measured").inc(stats.measured)
+    reg.counter("executor.cached").inc(stats.cached)
+    reg.counter("executor.wall_s").inc(stats.wall_s)
+    reg.counter("executor.point_seconds").inc(stats.point_seconds)
+    reg.gauge("executor.workers").set(stats.workers)
+    # Fraction of the worker-seconds the pool had available that were
+    # actually spent measuring (1.0 = perfectly packed workers).
+    if stats.wall_s > 0 and stats.workers > 0:
+        reg.histogram("executor.worker_utilization").observe(
+            min(1.0, stats.point_seconds / (stats.wall_s * stats.workers))
+        )
+
+
+def publish_link(
+    link: "Link", registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Publish one fabric link's carried traffic and queueing delay."""
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("fabric.link_bytes").inc(link.bytes_carried)
+    reg.counter("fabric.link_messages").inc(link.messages_carried)
+    reg.counter("fabric.link_queue_wait_s").inc(link.queue_wait_s)
+
+
+def publish_nic(
+    nic: "NIC", registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Publish one NIC's processed traffic and queueing delay."""
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("fabric.nic_messages").inc(nic.messages_processed)
+    reg.counter("fabric.nic_queue_wait_s").inc(nic.queue_wait_s)

@@ -1,0 +1,189 @@
+"""Structured run reports: one comparable telemetry artifact per run.
+
+A :class:`RunReport` snapshots everything a :class:`~repro.obs.MetricsRegistry`
+collected during a sweep, experiment batch, or benchmark run into a
+stable JSON document (plus a monospace human table), so every
+instrumented run leaves an artifact comparable across PRs — the same
+role ``BENCH_sweep.json`` plays for wall-clock numbers, but for the
+simulator's internal telemetry (where the DES time went, what the
+fabric injected, how the point cache behaved).
+
+Schema (``schema`` is bumped on incompatible changes)::
+
+    {
+      "schema": 1,
+      "kind": "sweep" | "experiments" | "custom",
+      "generated_at": "<ISO-8601 UTC>",
+      "python": "3.11.7",
+      "repro_version": "1.0.0",
+      "meta": { ... caller-supplied context ... },
+      "metrics": { "<section>": { "<metric>": number | histogram-doc } }
+    }
+
+Histogram docs are ``{"count", "sum", "mean", "min", "p50", "p90",
+"p99", "max"}``. Sections are the publishing layers: ``des``, ``gpu``,
+``fabric``, ``cache``, ``executor``, ``sweep``, ``experiments``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["RUN_REPORT_SCHEMA_VERSION", "RunReport"]
+
+#: Bump on incompatible changes to the JSON document layout.
+RUN_REPORT_SCHEMA_VERSION = 1
+
+
+def _repro_version() -> str:
+    # Late import: repro/__init__ imports subpackages that import obs.
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass
+class RunReport:
+    """A snapshot of collected metrics plus run provenance."""
+
+    kind: str = "custom"
+    generated_at: str = ""
+    python: str = ""
+    repro_version: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        registry: MetricsRegistry,
+        kind: str = "custom",
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "RunReport":
+        """Snapshot ``registry`` into a report (registry keeps counting)."""
+        return cls(
+            kind=kind,
+            generated_at=time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            python=platform.python_version(),
+            repro_version=_repro_version(),
+            meta=dict(meta or {}),
+            metrics=registry.to_doc(),
+        )
+
+    # -- serialization ------------------------------------------------------
+    def to_doc(self) -> Dict[str, Any]:
+        """The stable JSON-ready document."""
+        return {
+            "schema": RUN_REPORT_SCHEMA_VERSION,
+            "kind": self.kind,
+            "generated_at": self.generated_at,
+            "python": self.python,
+            "repro_version": self.repro_version,
+            "meta": self.meta,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self, path: Union[str, Path]) -> Path:
+        """Write the report document as pretty-printed JSON."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_doc(), indent=1, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "RunReport":
+        """Rebuild a report from its document form."""
+        schema = doc.get("schema")
+        if schema != RUN_REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunReport schema {schema!r} "
+                f"(this build reads {RUN_REPORT_SCHEMA_VERSION})"
+            )
+        return cls(
+            kind=str(doc.get("kind", "custom")),
+            generated_at=str(doc.get("generated_at", "")),
+            python=str(doc.get("python", "")),
+            repro_version=str(doc.get("repro_version", "")),
+            meta=dict(doc.get("meta", {})),
+            metrics={
+                section: dict(values)
+                for section, values in doc.get("metrics", {}).items()
+            },
+        )
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "RunReport":
+        """Load a report previously written with :meth:`to_json`."""
+        return cls.from_doc(json.loads(Path(path).read_text()))
+
+    # -- introspection ------------------------------------------------------
+    def sections(self) -> list:
+        """The metric sections present, sorted."""
+        return sorted(self.metrics)
+
+    def value(self, name: str) -> Any:
+        """Look one metric up by dotted name (``section.metric``)."""
+        section, _, metric = name.rpartition(".")
+        try:
+            return self.metrics[section][metric]
+        except KeyError:
+            raise KeyError(name) from None
+
+    # -- human rendering ----------------------------------------------------
+    def render(self) -> str:
+        """Monospace table: one block per section, aligned columns.
+
+        (Deliberately self-contained rather than reusing
+        ``repro.experiments.report.Table`` — obs sits below the
+        experiments layer in the import graph.)
+        """
+        lines = [
+            f"RunReport kind={self.kind} "
+            f"generated_at={self.generated_at or '-'} "
+            f"python={self.python or '-'} "
+            f"repro={self.repro_version or '-'}"
+        ]
+        for key, val in sorted(self.meta.items()):
+            lines.append(f"meta: {key} = {val}")
+        for section in self.sections():
+            values = self.metrics[section]
+            lines.append("")
+            lines.append(f"[{section or '(root)'}]")
+            width = max((len(m) for m in values), default=0)
+            for metric in sorted(values):
+                lines.append(
+                    f"  {metric.ljust(width)}  {_fmt_value(values[metric])}"
+                )
+        return "\n".join(lines)
+
+
+def _fmt_value(value: Any) -> str:
+    """Format one metric value (number or histogram summary dict)."""
+    if isinstance(value, dict):
+        if value.get("count", 0) == 0:
+            return "(empty histogram)"
+        parts = [
+            f"{k}={_fmt_number(value[k])}"
+            for k in ("count", "mean", "p50", "p90", "p99", "max")
+            if k in value
+        ]
+        return " ".join(parts)
+    return _fmt_number(value)
+
+
+def _fmt_number(value: Any) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    if isinstance(value, float):
+        return str(int(value))
+    return str(value)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import List, Optional, Sequence
 
+from ..obs import get_registry, publish_executor, publish_snapshot
 from .point import PointMeasurement, PointTask, measure_point
 from .pointcache import PointCache
 
@@ -152,6 +153,19 @@ class SweepExecutor:
             mode=mode,
             point_seconds=sum(results[i].elapsed_s for i in miss_idx),
         )
+        reg = get_registry()
+        if reg.enabled:
+            # Identical publication on the pool and inline paths: the
+            # per-run simulator telemetry rides inside each measurement
+            # (and inside cache entries), so cached points count too.
+            publish_executor(self.stats, reg)
+            miss_set = set(miss_idx)
+            for i, m in enumerate(results):
+                publish_snapshot(m.sim, reg)  # type: ignore[union-attr]
+                if i in miss_set:
+                    reg.histogram("executor.point_wall_s").observe(
+                        m.elapsed_s  # type: ignore[union-attr]
+                    )
         return results  # type: ignore[return-value]
 
     def _run_pool(

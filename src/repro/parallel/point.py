@@ -16,7 +16,7 @@ consumes the aggregate runtimes).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict
 
 from ..hw import OutOfMemoryError
@@ -60,6 +60,12 @@ class PointMeasurement:
     injected_slack_s: float = 0.0
     starvation_cost_s: float = 0.0
     elapsed_s: float = 0.0
+    #: Flat simulator telemetry of the run (dotted ``des.*``/``gpu.*``/
+    #: ``fabric.*`` names, see repro.obs). Shipped back from pool
+    #: workers and persisted in the point cache, so run reports cover
+    #: cached points too. Excluded from equality: two measurements of
+    #: the same point are the same result regardless of telemetry.
+    sim: Dict[str, float] = field(default_factory=dict, compare=False)
 
     def to_doc(self) -> Dict[str, Any]:
         """Plain-dict form for the on-disk point cache."""
@@ -73,6 +79,7 @@ class PointMeasurement:
             "injected_slack_s": self.injected_slack_s,
             "starvation_cost_s": self.starvation_cost_s,
             "elapsed_s": self.elapsed_s,
+            "sim": dict(self.sim),
         }
 
     @classmethod
@@ -88,6 +95,9 @@ class PointMeasurement:
             injected_slack_s=float(doc.get("injected_slack_s", 0.0)),
             starvation_cost_s=float(doc.get("starvation_cost_s", 0.0)),
             elapsed_s=float(doc.get("elapsed_s", 0.0)),
+            sim={
+                str(k): float(v) for k, v in doc.get("sim", {}).items()
+            },
         )
 
 
@@ -116,4 +126,5 @@ def measure_point(task: PointTask) -> PointMeasurement:
         injected_slack_s=run.injected_slack_s,
         starvation_cost_s=run.starvation_cost_s,
         elapsed_s=time.perf_counter() - t0,
+        sim=run.sim_metrics,
     )

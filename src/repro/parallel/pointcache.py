@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 from typing import Optional, Union
 
+from ..obs import get_registry
 from ..proxy.matmul import ProxyConfig
 from .point import PointMeasurement
 
@@ -31,7 +32,9 @@ __all__ = ["POINT_CACHE_VERSION", "PointCache", "point_key"]
 
 #: Bump whenever simulator changes alter what a (config, slack) point
 #: measures — stale entries must not survive a behavioral change.
-POINT_CACHE_VERSION = "2026.08-1"
+#: 2026.08-2: entries now carry the per-run simulator telemetry
+#: (``sim``) consumed by repro.obs run reports.
+POINT_CACHE_VERSION = "2026.08-2"
 
 
 def point_key(
@@ -66,6 +69,19 @@ class PointCache:
     ) -> None:
         self.root = Path(root)
         self.version = version
+        #: Lifetime lookup accounting for this cache object. ``corrupt``
+        #: counts entries that existed on disk but failed to parse
+        #: (counted as misses too — the point gets re-measured).
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 before any get)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
     def path_for(self, config: ProxyConfig, slack_s: float) -> Path:
         """On-disk location of one point's entry."""
@@ -77,11 +93,25 @@ class PointCache:
     ) -> Optional[PointMeasurement]:
         """Cached measurement for a point, or ``None`` on a miss."""
         path = self.path_for(config, slack_s)
+        reg = get_registry()
         try:
-            doc = json.loads(path.read_text())
-            return PointMeasurement.from_doc(doc)
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            reg.counter("cache.misses").inc()
             return None
+        try:
+            measurement = PointMeasurement.from_doc(json.loads(text))
+        except (ValueError, KeyError, TypeError):
+            # Torn/stale entry: treat as a miss and re-measure.
+            self.corrupt += 1
+            self.misses += 1
+            reg.counter("cache.invalidated").inc()
+            reg.counter("cache.misses").inc()
+            return None
+        self.hits += 1
+        reg.counter("cache.hits").inc()
+        return measurement
 
     def put(
         self, config: ProxyConfig, slack_s: float, measurement: PointMeasurement
@@ -96,6 +126,8 @@ class PointCache:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(measurement.to_doc()))
         tmp.replace(path)
+        self.writes += 1
+        get_registry().counter("cache.writes").inc()
         return path
 
     def __len__(self) -> int:

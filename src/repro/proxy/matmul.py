@@ -13,12 +13,13 @@ critical path so Equation 1's correction is exact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from ..des import Barrier, Environment, Event
 from ..gpusim import CudaRuntime, matmul_kernel
 from ..hw import A100_SXM4_40GB, GPUSpec, OutOfMemoryError, PCIE_GEN4_X16, PCIeSpec
 from ..network import SlackModel
+from ..obs import simulation_snapshot
 from ..trace import CopyKind, Trace
 from .calibration import calibrate_iterations, time_single_kernel
 
@@ -85,6 +86,9 @@ class ProxyResult:
     injected_slack_s: float
     starvation_cost_s: float
     trace: Trace
+    #: Flat simulator telemetry (``des.*``/``gpu.*``/``fabric.*``
+    #: dotted names) snapshotted at end of run; see repro.obs.
+    sim_metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cuda_calls(self) -> int:
@@ -205,4 +209,5 @@ def run_proxy(
         injected_slack_s=rt.injector.total_injected_s,
         starvation_cost_s=rt.total_starvation_cost(),
         trace=rt.tracer.trace,
+        sim_metrics=simulation_snapshot(env, rt),
     )

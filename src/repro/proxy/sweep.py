@@ -18,11 +18,11 @@ grid extensions reuse every previously measured point.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from ..hw import OutOfMemoryError  # noqa: F401  (re-exported legacy import)
-from ..network import SlackModel  # noqa: F401  (re-exported legacy import)
+from ..obs import RunReport, get_registry
 from .matmul import ProxyConfig, run_proxy  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,6 +37,32 @@ __all__ = [
     "SweepTiming",
     "run_slack_sweep",
 ]
+
+#: Names this module used to re-export for import convenience. They now
+#: live at their canonical homes; importing them from here still works
+#: but warns (see the deprecation policy in docs/observability.md).
+_DEPRECATED_REEXPORTS = {
+    "OutOfMemoryError": "repro.hw",
+    "SlackModel": "repro.network",
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Deprecation shims for the legacy ``repro.proxy.sweep`` re-exports."""
+    canonical = _DEPRECATED_REEXPORTS.get(name)
+    if canonical is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name} from repro.proxy.sweep is deprecated; "
+        f"use 'from {canonical} import {name}' instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(canonical), name)
 
 #: The paper's matrix-size grid: 2^9 to 2^15 in multiples of 2^2.
 PAPER_MATRIX_SIZES: Tuple[int, ...] = (2**9, 2**11, 2**13, 2**15)
@@ -128,6 +154,9 @@ class SweepResult:
     skipped: List[Tuple[int, int, str]] = field(default_factory=list)
     #: Execution instrumentation (None for hand-assembled results).
     timing: Optional[SweepTiming] = field(default=None, compare=False)
+    #: Telemetry snapshot of the sweep (None unless metrics were
+    #: enabled via repro.obs when the sweep ran).
+    report: Optional[RunReport] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # O(1) exact-lookup index; kept in sync by add().
@@ -182,6 +211,7 @@ def run_slack_sweep(
     threads: Sequence[int] = (1,),
     iterations: Optional[int] = None,
     target_compute_s: float = 30.0,
+    *,
     workers: Optional[int] = 1,
     cache: Optional["PointCache"] = None,
     executor: Optional["SweepExecutor"] = None,
@@ -193,12 +223,18 @@ def run_slack_sweep(
     above 2 threads). ``iterations`` overrides auto-calibration (keeps
     tests fast); ``target_compute_s`` shortens the calibration budget.
 
-    ``workers`` > 1 fans the grid out over a process pool and ``None``
-    means ``os.cpu_count()``; results are returned in the same
-    deterministic grid order either way. ``cache``
+    The execution knobs are keyword-only (the stable ``repro.api``
+    contract): ``workers`` > 1 fans the grid out over a process pool
+    and ``None`` means ``os.cpu_count()``; results are returned in the
+    same deterministic grid order either way. ``cache``
     attaches a per-point result store so previously measured points are
     never re-run; ``executor`` substitutes a fully custom executor
     (its ``workers``/``cache`` then take precedence).
+
+    When metrics are enabled (:func:`repro.obs.enable_metrics` or the
+    CLI's ``--metrics-out``), the sweep publishes DES/GPU/fabric/cache
+    telemetry into the active registry and attaches a
+    :class:`repro.obs.RunReport` snapshot as ``SweepResult.report``.
     """
     from ..parallel import PointTask, SweepExecutor
 
@@ -265,5 +301,23 @@ def run_slack_sweep(
             workers=stats.workers,
             mode=stats.mode,
             point_seconds=stats.point_seconds,
+        )
+
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("sweep.runs").inc()
+        reg.counter("sweep.points").inc(len(result.points))
+        reg.counter("sweep.skipped").inc(len(result.skipped))
+        if result.timing is not None:
+            reg.counter("sweep.wall_s").inc(result.timing.wall_s)
+        result.report = RunReport.collect(
+            reg,
+            kind="sweep",
+            meta={
+                "matrix_sizes": list(matrix_sizes),
+                "slack_values_s": list(slack_values_s),
+                "threads": list(threads),
+                "iterations": iterations,
+            },
         )
     return result

@@ -118,3 +118,52 @@ class TestParallelFlags:
         from repro.cli import _resolve_workers
         import os
         assert _resolve_workers(args) == (os.cpu_count() or 1)
+
+
+class TestMetrics:
+    def test_sweep_metrics_out_writes_runreport(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import RunReport, metrics_enabled
+
+        out = tmp_path / "report.json"
+        assert main(["sweep", "--matrix", "512", "--slack", "1e-4",
+                     "--iterations", "5", "--no-cache",
+                     "--metrics-out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert f"metrics report written to {out}" in captured.err
+        # --metrics-out enables collection only for the invocation.
+        assert not metrics_enabled()
+
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1
+        assert doc["kind"] == "sweep"
+        for section in ("des", "gpu", "fabric", "executor", "sweep"):
+            assert section in doc["metrics"], section
+        report = RunReport.from_json(out)
+        assert report.value("sweep.points") == 1
+
+    def test_run_metrics_out_writes_runreport(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "report.json"
+        assert main(["run", "discussion", "--metrics-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "run"
+        assert doc["meta"]["experiments"] == ["discussion"]
+
+    def test_metrics_renders_report_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["sweep", "--matrix", "512", "--slack", "1e-4",
+                     "--iterations", "5", "--no-cache",
+                     "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "RunReport kind=sweep" in rendered
+        assert "[des]" in rendered
+
+    def test_metrics_rejects_unreadable_file(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        assert main(["metrics", str(bad)]) == 2
+        assert "cannot read report" in capsys.readouterr().err

@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.parallel import fork_available
+from repro.parallel import PointCache, fork_available
 from repro.proxy import (
     PAPER_MATRIX_SIZES,
     PAPER_SLACK_VALUES_S,
@@ -48,3 +48,37 @@ def test_quick_grid_speedup_at_least_2x():
         f"({sequential.timing.wall_s:.2f}s -> {parallel.timing.wall_s:.2f}s "
         f"with {workers} workers)"
     )
+
+
+def test_cache_hit_counts_parity_inline_vs_pool(tmp_path):
+    """SweepTiming counts cache hits identically on every execution path.
+
+    The inline (workers=1) loop and the process pool must report the
+    same cached/measured split for the same warm cache — the numbers
+    come from the shared cache-resolution pass, not from the execution
+    backend.
+    """
+    grid = dict(
+        matrix_sizes=[256], slack_values_s=[1e-5, 1e-4],
+        threads=[1], iterations=5,
+    )
+    n_points = 3  # baseline + two slack values
+
+    cold = run_slack_sweep(**grid, workers=1,
+                           cache=PointCache(tmp_path / "points"))
+    assert cold.timing.grid_points == n_points
+    assert (cold.timing.cached, cold.timing.measured) == (0, n_points)
+
+    warm_inline = run_slack_sweep(**grid, workers=1,
+                                  cache=PointCache(tmp_path / "points"))
+    assert (warm_inline.timing.cached, warm_inline.timing.measured) == (
+        n_points, 0
+    )
+
+    if fork_available() and (os.cpu_count() or 1) >= 2:
+        warm_pool = run_slack_sweep(**grid, workers=2,
+                                    cache=PointCache(tmp_path / "points"))
+        assert (warm_pool.timing.cached, warm_pool.timing.measured) == (
+            warm_inline.timing.cached, warm_inline.timing.measured
+        )
+        assert warm_pool.points == warm_inline.points == cold.points

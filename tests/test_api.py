@@ -1,0 +1,119 @@
+"""The stable ``repro.api`` facade and its deprecation contracts."""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+
+
+# -- facade ------------------------------------------------------------------
+
+def test_every_documented_name_resolves():
+    missing = [name for name in api.__all__ if not hasattr(api, name)]
+    assert not missing
+
+
+def test_facade_matches_package_surface():
+    """Everything the top-level package exports is also on the facade
+    (the facade may export more, e.g. the paper grid constants)."""
+    assert set(repro.__all__) <= set(api.__all__)
+
+
+def test_quickstart_imports():
+    from repro.api import (  # noqa: F401
+        ExperimentContext,
+        MetricsRegistry,
+        PointCache,
+        RunReport,
+        SweepExecutor,
+        collecting,
+        run_all,
+        run_experiment,
+        run_proxy,
+        run_slack_sweep,
+    )
+
+
+def test_no_deprecation_warning_on_import():
+    """Importing the supported surface never warns (the CI leg runs the
+    whole suite under ``-W error::DeprecationWarning``; this is the
+    fast, pinpointed version)."""
+    import importlib
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        importlib.reload(api)
+
+
+# -- keyword-only execution knobs --------------------------------------------
+
+def test_run_slack_sweep_workers_is_keyword_only():
+    from repro.api import run_slack_sweep
+
+    with pytest.raises(TypeError):
+        run_slack_sweep([256], [1e-5], [1], 3, 30.0, 2)  # workers positional
+
+
+def test_run_all_workers_is_keyword_only():
+    from repro.api import run_all
+
+    with pytest.raises(TypeError):
+        run_all(None, 2)  # workers positional
+
+
+def test_context_knobs_are_keyword_only():
+    from repro.api import ExperimentContext
+
+    with pytest.raises(TypeError):
+        ExperimentContext(True, None)  # cache_dir positional
+
+
+# -- deprecated kwarg spelling -----------------------------------------------
+
+def test_context_use_cache_kwarg_warns_but_works():
+    from repro.api import ExperimentContext
+
+    with pytest.warns(DeprecationWarning, match="use_cache"):
+        ctx = ExperimentContext(use_cache=False)
+    assert ctx.cache is False
+    assert ctx.point_cache() is None
+
+    with pytest.warns(DeprecationWarning, match="use_cache"):
+        assert ctx.use_cache is False
+
+
+def test_context_canonical_cache_kwarg_is_silent():
+    from repro.api import ExperimentContext, PointCache
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        ctx = ExperimentContext(cache=False)
+        assert ctx.point_cache() is None
+        store = PointCache.__new__(PointCache)  # no disk touch needed
+        ctx2 = ExperimentContext(cache=store)
+        assert ctx2.point_cache() is store
+
+
+# -- deprecated module re-exports --------------------------------------------
+
+def test_sweep_module_shims_warn_and_alias_canonical():
+    import repro.hw
+    import repro.network
+    import repro.proxy.sweep as sweep_mod
+
+    with pytest.warns(DeprecationWarning, match="repro.hw"):
+        oom = sweep_mod.OutOfMemoryError
+    assert oom is repro.hw.OutOfMemoryError
+
+    with pytest.warns(DeprecationWarning, match="repro.network"):
+        model = sweep_mod.SlackModel
+    assert model is repro.network.SlackModel
+
+
+def test_sweep_module_unknown_attribute_still_raises():
+    import repro.proxy.sweep as sweep_mod
+
+    with pytest.raises(AttributeError):
+        sweep_mod.does_not_exist
