@@ -46,3 +46,46 @@ def test_bench_sweep_engine(benchmark, bench_extra):
             else float("inf")
         ),
     }
+
+
+#: Reduced paper grid for the fast-forward benchmark. Auto-calibrated
+#: iteration counts (the paper's regime: 1000 iterations at 2^9) are
+#: where fast-forward pays off — the quick 25-iteration grids above
+#: deliberately keep the full simulations cheap.
+FF_GRID = dict(
+    matrix_sizes=(512, 8192),
+    slack_values_s=(1e-5, 1e-3),
+    threads=(1, 4),
+    iterations=None,
+)
+
+
+def test_bench_fastforward(benchmark, bench_extra):
+    full = run_slack_sweep(**FF_GRID, fast_forward=False)
+
+    fast = benchmark.pedantic(
+        lambda: run_slack_sweep(**FF_GRID, fast_forward=True),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The engine's contract: every SweepPoint field bit-identical.
+    assert fast.points == full.points
+    assert fast.skipped == full.skipped
+
+    speedup = (
+        full.timing.wall_s / fast.timing.wall_s
+        if fast.timing.wall_s > 0
+        else float("inf")
+    )
+    bench_extra["fastforward"] = {
+        "grid_points": fast.timing.grid_points,
+        "full_wall_s": full.timing.wall_s,
+        "fastforward_wall_s": fast.timing.wall_s,
+        "speedup": speedup,
+        "full_points_per_sec": full.timing.points_per_sec,
+        "fastforward_points_per_sec": fast.timing.points_per_sec,
+    }
+    assert speedup >= 10.0, (
+        f"fast-forward speedup {speedup:.1f}x below the 10x floor"
+    )

@@ -34,6 +34,10 @@ hardware & network models
     :func:`latency_for_fibre_distance`.
 proxy methodology & prediction
     :class:`ProxyConfig`, :class:`ProxyResult`, :func:`run_proxy`,
+    :class:`FastForwardInfo` (the ``result.fastforward`` record of the
+    steady-state fast-forward engine; the ``fast_forward=`` knob on
+    :func:`run_proxy` / :func:`run_slack_sweep` /
+    :class:`ExperimentContext` controls it),
     :func:`run_slack_sweep`, :class:`SweepResult`,
     :class:`SweepTiming`, :class:`SlackResponseSurface`,
     :class:`CDIProfiler`, :class:`SlackPrediction`.
@@ -90,6 +94,7 @@ from .obs import (
 )
 from .parallel import PointCache, SweepExecutor
 from .proxy import (
+    FastForwardInfo,
     PAPER_MATRIX_SIZES,
     PAPER_SLACK_VALUES_S,
     PAPER_THREAD_COUNTS,
@@ -130,6 +135,7 @@ __all__ = [
     "PAPER_THREAD_COUNTS",
     "ProxyConfig",
     "ProxyResult",
+    "FastForwardInfo",
     "run_proxy",
     "run_slack_sweep",
     "SweepResult",

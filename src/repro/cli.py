@@ -122,6 +122,11 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the per-point and surface caches "
                              "(recompute everything)")
+    parser.add_argument("--no-fast-forward", action="store_true",
+                        dest="no_fast_forward",
+                        help="disable steady-state fast-forward and run "
+                             "every proxy iteration in full (results are "
+                             "bit-identical; only slower)")
     parser.add_argument("--metrics-out", metavar="PATH", dest="metrics_out",
                         help="enable the metrics registry for this run and "
                              "write a RunReport JSON to PATH")
@@ -173,6 +178,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         quick=not args.full,
         workers=workers,
         cache=not getattr(args, "no_cache", False),
+        fast_forward=(
+            False if getattr(args, "no_fast_forward", False) else None
+        ),
     )
     if args.command == "all":
         targets = experiment_ids()
@@ -351,6 +359,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         iterations=iterations,
         workers=_resolve_workers(args),
         cache=cache,
+        fast_forward=False if args.no_fast_forward else None,
     )
     if sweep.timing is not None:
         t = sweep.timing

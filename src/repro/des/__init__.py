@@ -20,6 +20,7 @@ from .core import (
 )
 from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
 from .monitor import IntervalRecord, TimeSeriesMonitor, UtilizationTracker
+from .timebase import TICK_S, quantize
 from .resources import (
     Barrier,
     Container,
@@ -65,4 +66,6 @@ __all__ = [
     "TimeSeriesMonitor",
     "UtilizationTracker",
     "IntervalRecord",
+    "TICK_S",
+    "quantize",
 ]

@@ -65,8 +65,11 @@ class ExperimentContext:
     cache layers: ``True`` (default) uses the repo-local cache dir,
     ``False`` disables caching entirely (every run re-measures), and a
     :class:`~repro.parallel.PointCache` instance substitutes a custom
-    per-point store. ``use_cache`` is the deprecated spelling of
-    ``cache`` and will be removed in a future release.
+    per-point store. ``fast_forward`` passes the proxy's steady-state
+    fast-forward knob through to the sweep (``None`` = proxy default,
+    on; the surface is bit-identical either way). ``use_cache`` is the
+    deprecated spelling of ``cache`` and will be removed in a future
+    release.
     """
 
     def __init__(
@@ -76,6 +79,7 @@ class ExperimentContext:
         cache_dir: Optional[Path] = None,
         workers: Optional[int] = 1,
         cache: Union[bool, PointCache] = True,
+        fast_forward: Optional[bool] = None,
         use_cache: Optional[bool] = None,
     ) -> None:
         if use_cache is not None:
@@ -90,6 +94,7 @@ class ExperimentContext:
         self.cache_dir = cache_dir
         self.workers = workers
         self.cache = cache
+        self.fast_forward = fast_forward
         self._surface: Optional[SlackResponseSurface] = None
         self._profiles: Dict[str, AppProfile] = {}
         #: Timing of the sweep that built the surface this process
@@ -134,6 +139,7 @@ class ExperimentContext:
             iterations=self.sweep_iterations,
             workers=self.workers,
             cache=self.point_cache(),
+            fast_forward=self.fast_forward,
         )
         self.sweep_timing = sweep.timing
         self._surface = SlackResponseSurface(sweep)

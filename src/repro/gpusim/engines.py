@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..des import Environment, Event, Resource, UtilizationTracker
+from ..des import Environment, Event, Resource, UtilizationTracker, quantize
 from ..hw import GPUSpec
 
 __all__ = ["DeviceActivity", "Engine", "ComputeEngine", "CopyEngine", "ExecutionReceipt"]
@@ -132,7 +132,9 @@ class ComputeEngine(Engine):
         self.total_starvation_cost = 0.0
 
     def _pre_execution_cost(self) -> float:
-        cost = self.gpu.starvation_cost(self.activity.idle_gap(self.env.now))
+        # Tick-quantized (repro.des.timebase) so starvation totals and
+        # the event times they extend stay exactly representable.
+        cost = quantize(self.gpu.starvation_cost(self.activity.idle_gap(self.env.now)))
         self.total_starvation_cost += cost
         return cost
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, Optional
 
-from ..des import Environment, Event
+from ..des import Environment, Event, quantize
 from ..hw import (
     A100_SXM4_40GB,
     DeviceAllocation,
@@ -80,7 +80,16 @@ class CudaRuntime:
         self.pcie = pcie
         self.tracer = tracer or Tracer(env, name="gpu0")
         self.memory = DeviceMemory(gpu.memory_bytes)
-        self.api_overhead_s = api_overhead_s
+        # All delays this runtime feeds into the DES are snapped to the
+        # dyadic tick grid (repro.des.timebase): event timestamps stay
+        # exactly representable, which is what lets the steady-state
+        # fast-forward engine certify bit-exact periodicity. The memo
+        # dicts double as a hot-path win — transfer and kernel times
+        # for the proxy's handful of distinct shapes are computed once.
+        self.api_overhead_s = quantize(api_overhead_s)
+        self._launch_overhead_s = quantize(gpu.launch_overhead_s)
+        self._transfer_time_memo: Dict[int, float] = {}
+        self._kernel_time_memo: Dict[int, Any] = {}
 
         self.activity = DeviceActivity()
         # concurrent_kernels switches the compute unit to SM-occupancy
@@ -129,7 +138,7 @@ class CudaRuntime:
             self.copy_h2d,
             self.copy_d2h,
             self.tracer,
-            gpu_execution_time=lambda k: k.execution_time(self.gpu),
+            gpu_execution_time=self._kernel_time,
         )
         self._streams[sid] = stream
         return stream
@@ -175,7 +184,7 @@ class CudaRuntime:
             correlation_id=corr,
             nbytes=nbytes,
             copy_kind=kind,
-            transfer_time=self.pcie.transfer_time(nbytes),
+            transfer_time=self._transfer_time(nbytes),
         )
         yield stream.submit(op)
         self._account_memcpy(nbytes, kind)
@@ -205,7 +214,7 @@ class CudaRuntime:
             correlation_id=corr,
             nbytes=nbytes,
             copy_kind=kind,
-            transfer_time=self.pcie.transfer_time(nbytes),
+            transfer_time=self._transfer_time(nbytes),
         )
         yield stream.submit(op)
         yield op.completion
@@ -235,7 +244,7 @@ class CudaRuntime:
         stream = stream or self.default_stream
         start = self.env.now
         corr = self.tracer.next_correlation_id()
-        yield self.env.timeout(self.gpu.launch_overhead_s)
+        yield self.env.timeout(self._launch_overhead_s)
         op = KernelOp(
             completion=self.env.event(),
             thread=thread,
@@ -288,6 +297,28 @@ class CudaRuntime:
     def total_starvation_cost(self) -> float:
         """Accumulated GPU-starvation cost (the paper's residual penalty)."""
         return self.compute.total_starvation_cost
+
+    # -- quantized delay memos -----------------------------------------------------
+    def _transfer_time(self, nbytes: int) -> float:
+        """PCIe transfer time for ``nbytes``, tick-quantized and memoized."""
+        t = self._transfer_time_memo.get(nbytes)
+        if t is None:
+            t = quantize(self.pcie.transfer_time(nbytes))
+            self._transfer_time_memo[nbytes] = t
+        return t
+
+    def _kernel_time(self, kernel: KernelSpec) -> float:
+        """Kernel execution time on this GPU, tick-quantized and memoized.
+
+        Keyed by identity with the spec kept alive in the entry, so a
+        recycled ``id`` can never alias a different kernel.
+        """
+        hit = self._kernel_time_memo.get(id(kernel))
+        if hit is not None and hit[0] is kernel:
+            return hit[1]
+        t = quantize(kernel.execution_time(self.gpu))
+        self._kernel_time_memo[id(kernel)] = (kernel, t)
+        return t
 
     def _record_api(
         self, name: str, start: float, corr: int, thread: int

@@ -22,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..des import quantize
+
 __all__ = [
     "SPEED_OF_LIGHT_VACUUM_M_PER_S",
     "FIBRE_REFRACTIVE_INDEX",
@@ -140,6 +142,12 @@ class SlackModel:
         if jitter_fraction < 0:
             raise ValueError("jitter_fraction must be non-negative")
         self.slack_s = float(slack_s)
+        # The deterministic per-call delay actually fed into the DES,
+        # snapped to the dyadic tick grid (repro.des.timebase) so that
+        # injected-slack totals accumulate exactly. slack_s itself
+        # stays raw: it is the model parameter, used for analysis
+        # (Equation 1 correction, distance conversion) and repr.
+        self._delay_s = quantize(self.slack_s)
         self.jitter_fraction = float(jitter_fraction)
         if jitter_fraction > 0 and rng is None:
             rng = np.random.default_rng(0)
@@ -167,7 +175,7 @@ class SlackModel:
         if self.slack_s == 0.0:
             return 0.0
         if self.jitter_fraction == 0.0:
-            delay = self.slack_s
+            delay = self._delay_s
         else:
             # Log-normal keeps delays positive with the requested CV.
             cv = self.jitter_fraction

@@ -160,12 +160,27 @@ class SweepExecutor:
             # (and inside cache entries), so cached points count too.
             publish_executor(self.stats, reg)
             miss_set = set(miss_idx)
+            ff_hits = ff_fallbacks = ff_skipped = 0
             for i, m in enumerate(results):
                 publish_snapshot(m.sim, reg)  # type: ignore[union-attr]
                 if i in miss_set:
                     reg.histogram("executor.point_wall_s").observe(
                         m.elapsed_s  # type: ignore[union-attr]
                     )
+                    # Fast-forward telemetry counts freshly measured
+                    # points only: cached entries did not exercise the
+                    # engine this run.
+                    if m.fastforward_hit:  # type: ignore[union-attr]
+                        ff_hits += 1
+                        ff_skipped += m.fastforward_events_skipped  # type: ignore[union-attr]
+                    elif m.ok:  # type: ignore[union-attr]
+                        ff_fallbacks += 1
+            if ff_hits or ff_fallbacks:
+                reg.counter("proxy.fastforward.hits").inc(ff_hits)
+                reg.counter("proxy.fastforward.fallbacks").inc(ff_fallbacks)
+                reg.counter("proxy.fastforward.events_skipped").inc(
+                    ff_skipped
+                )
         return results  # type: ignore[return-value]
 
     def _run_pool(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..hw import OutOfMemoryError
 from ..network import SlackModel
@@ -37,6 +37,17 @@ class PointTask:
 
     config: ProxyConfig
     slack_s: float
+    #: Pre-computed single-kernel duration: the sweep hoists the
+    #: calibration mini-simulation out of the per-point workers so
+    #: every point of one matrix size shares it (and so cached and
+    #: fast-forwarded points agree on ``iterations``). ``None`` means
+    #: the worker calibrates itself (direct ``measure_point`` use).
+    kernel_time_s: Optional[float] = None
+    #: Steady-state fast-forward knob, passed through to
+    #: :func:`repro.proxy.run_proxy`. ``None`` = the proxy's default
+    #: (on). Not part of the cache key: fast-forwarded results are
+    #: bit-identical to full simulations by construction.
+    fast_forward: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -66,6 +77,14 @@ class PointMeasurement:
     #: cached points too. Excluded from equality: two measurements of
     #: the same point are the same result regardless of telemetry.
     sim: Dict[str, float] = field(default_factory=dict, compare=False)
+    #: Fast-forward telemetry (compare=False for the same reason as
+    #: ``sim``: a fast-forwarded measurement equals the full one).
+    #: ``fastforward_hit`` — the run was certified and extrapolated;
+    #: ``fastforward_events_skipped`` — DES events not simulated;
+    #: ``fastforward_reason`` — refusal/fallback reason when not a hit.
+    fastforward_hit: bool = field(default=False, compare=False)
+    fastforward_events_skipped: int = field(default=0, compare=False)
+    fastforward_reason: str = field(default="", compare=False)
 
     def to_doc(self) -> Dict[str, Any]:
         """Plain-dict form for the on-disk point cache."""
@@ -80,6 +99,9 @@ class PointMeasurement:
             "starvation_cost_s": self.starvation_cost_s,
             "elapsed_s": self.elapsed_s,
             "sim": dict(self.sim),
+            "fastforward_hit": self.fastforward_hit,
+            "fastforward_events_skipped": self.fastforward_events_skipped,
+            "fastforward_reason": self.fastforward_reason,
         }
 
     @classmethod
@@ -98,6 +120,11 @@ class PointMeasurement:
             sim={
                 str(k): float(v) for k, v in doc.get("sim", {}).items()
             },
+            fastforward_hit=bool(doc.get("fastforward_hit", False)),
+            fastforward_events_skipped=int(
+                doc.get("fastforward_events_skipped", 0)
+            ),
+            fastforward_reason=str(doc.get("fastforward_reason", "")),
         )
 
 
@@ -112,11 +139,17 @@ def measure_point(task: PointTask) -> PointMeasurement:
     slack = SlackModel.none() if task.slack_s == 0.0 else SlackModel(task.slack_s)
     t0 = time.perf_counter()
     try:
-        run = run_proxy(task.config, slack)
+        run = run_proxy(
+            task.config,
+            slack,
+            kernel_time_s=task.kernel_time_s,
+            fast_forward=task.fast_forward,
+        )
     except OutOfMemoryError as exc:
         return PointMeasurement(
             ok=False, error=str(exc), elapsed_s=time.perf_counter() - t0
         )
+    ff = run.fastforward
     return PointMeasurement(
         ok=True,
         loop_runtime_s=run.loop_runtime_s,
@@ -127,4 +160,7 @@ def measure_point(task: PointTask) -> PointMeasurement:
         starvation_cost_s=run.starvation_cost_s,
         elapsed_s=time.perf_counter() - t0,
         sim=run.sim_metrics,
+        fastforward_hit=bool(ff is not None and ff.certified),
+        fastforward_events_skipped=ff.events_skipped if ff is not None else 0,
+        fastforward_reason=(ff.reason or "") if ff is not None else "",
     )

@@ -32,9 +32,10 @@ __all__ = ["POINT_CACHE_VERSION", "PointCache", "point_key"]
 
 #: Bump whenever simulator changes alter what a (config, slack) point
 #: measures — stale entries must not survive a behavioral change.
-#: 2026.08-2: entries now carry the per-run simulator telemetry
-#: (``sim``) consumed by repro.obs run reports.
-POINT_CACHE_VERSION = "2026.08-2"
+#: 2026.08-3: simulated delays are tick-quantized (repro.des.timebase),
+#: shifting every runtime by up to half a tick per event, and entries
+#: carry fast-forward telemetry.
+POINT_CACHE_VERSION = "2026.08-3"
 
 
 def point_key(

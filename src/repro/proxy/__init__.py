@@ -15,6 +15,7 @@ from .calibration import (
     calibrate_matrix_size,
     time_single_kernel,
 )
+from .fastforward import FastForwardInfo
 from .matmul import (
     CUDA_CALLS_PER_ITERATION,
     ProxyConfig,
@@ -35,6 +36,7 @@ from .sweep import (
 __all__ = [
     "ProxyConfig",
     "ProxyResult",
+    "FastForwardInfo",
     "run_proxy",
     "CUDA_CALLS_PER_ITERATION",
     "calibrate_iterations",

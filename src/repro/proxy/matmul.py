@@ -22,8 +22,15 @@ from ..network import SlackModel
 from ..obs import simulation_snapshot
 from ..trace import CopyKind, Trace
 from .calibration import calibrate_iterations, time_single_kernel
+from .fastforward import EpochMonitor, FastForwardInfo, refusal_reason
 
-__all__ = ["ProxyConfig", "ProxyResult", "CUDA_CALLS_PER_ITERATION", "run_proxy"]
+__all__ = [
+    "ProxyConfig",
+    "ProxyResult",
+    "CUDA_CALLS_PER_ITERATION",
+    "run_proxy",
+    "FastForwardInfo",
+]
 
 #: The paper's count for Equation 1: 3 matrix transfers + 1 kernel
 #: launch + 1 host-device synchronization per loop iteration.
@@ -89,6 +96,11 @@ class ProxyResult:
     #: Flat simulator telemetry (``des.*``/``gpu.*``/``fabric.*``
     #: dotted names) snapshotted at end of run; see repro.obs.
     sim_metrics: Dict[str, float] = field(default_factory=dict)
+    #: How steady-state fast-forward engaged for this run (None only
+    #: for results built before the knob existed, e.g. old pickles).
+    #: Excluded from comparison: a fast-forwarded result is the same
+    #: result, reached cheaper.
+    fastforward: Optional[FastForwardInfo] = field(default=None, compare=False)
 
     @property
     def cuda_calls(self) -> int:
@@ -109,8 +121,26 @@ class ProxyResult:
 def run_proxy(
     config: ProxyConfig,
     slack: Optional[SlackModel] = None,
+    *,
+    kernel_time_s: Optional[float] = None,
+    fast_forward: Optional[bool] = None,
 ) -> ProxyResult:
     """Execute the proxy in a fresh simulation and collect its result.
+
+    Parameters
+    ----------
+    kernel_time_s:
+        Pre-computed single-kernel duration (skips the calibration
+        mini-simulation; sweeps hoist it so every point of one matrix
+        size shares the calibration).
+    fast_forward:
+        Steady-state fast-forward (default on): once the loop is
+        certified bit-exactly periodic, the remaining iterations are
+        extrapolated analytically instead of simulated — same result,
+        O(warmup) events. Ineligible configurations (phase barriers,
+        iteration spacing, launch offsets, jittered slack) always run
+        the full simulation; ``result.fastforward`` records what
+        happened.
 
     Raises
     ------
@@ -123,12 +153,22 @@ def run_proxy(
     env = Environment()
     rt = CudaRuntime(env, gpu=config.gpu, pcie=config.pcie, slack=slack)
 
-    kernel_time = time_single_kernel(
-        config.matrix_size, config.gpu, config.pcie, config.dtype_bytes
+    kernel_time = (
+        kernel_time_s
+        if kernel_time_s is not None
+        else time_single_kernel(
+            config.matrix_size, config.gpu, config.pcie, config.dtype_bytes
+        )
     )
     iterations = config.iterations or calibrate_iterations(
         kernel_time, target_s=config.target_compute_s
     )
+
+    enabled = True if fast_forward is None else bool(fast_forward)
+    reason = "disabled" if not enabled else refusal_reason(config, slack, iterations)
+    monitor = EpochMonitor(env, rt, config.threads, iterations) if (
+        enabled and reason is None
+    ) else None
 
     # Allocate every thread's matrices up front (fail fast on OOM,
     # mirroring the proxy's startup allocation).
@@ -169,7 +209,12 @@ def run_proxy(
         # tests/proxy/test_proxy.py).
         if config.thread_launch_offset_s and thread_id:
             yield env.timeout(config.thread_launch_offset_s * thread_id)
-        for iteration in range(iterations):
+        # Per-iteration epochs: the monitor (when eligible) observes
+        # each cycle boundary and may lower the shared stop_at bound,
+        # capping all threads at a uniform epoch count once the steady
+        # state is certified.
+        iteration = 0
+        while iteration < (monitor.stop_at if monitor is not None else iterations):
             if config.iteration_spacing_s and iteration:
                 yield env.timeout(config.iteration_spacing_s)
             yield from rt.memcpy(nbytes, CopyKind.H2D, stream, thread_id)
@@ -187,6 +232,9 @@ def run_proxy(
             yield from rt.synchronize(stream=stream, thread=thread_id)
             if barriers:
                 yield barriers[4].wait()
+            iteration += 1
+            if monitor is not None:
+                monitor.epoch_done(thread_id)
 
     def main() -> Generator[Event, Any, float]:
         t0 = env.now
@@ -200,6 +248,25 @@ def run_proxy(
     main_proc = env.process(main(), name="proxy-main")
     env.run()
 
+    if monitor is not None and monitor.certified:
+        ex = monitor.extrapolate(float(main_proc.value))
+        return ProxyResult(
+            config=config,
+            slack_s=slack.slack_s,
+            iterations=iterations,
+            kernel_time_s=kernel_time,
+            loop_runtime_s=ex.loop_runtime_s,
+            injected_slack_s=ex.injected_slack_s,
+            starvation_cost_s=ex.starvation_cost_s,
+            trace=ex.trace,
+            sim_metrics=ex.sim_metrics,
+            fastforward=ex.info,
+        )
+
+    if monitor is not None:
+        # Eligible but never certified: the run completed as a full
+        # simulation on its own.
+        reason = "no-fixed-point"
     return ProxyResult(
         config=config,
         slack_s=slack.slack_s,
@@ -210,4 +277,7 @@ def run_proxy(
         starvation_cost_s=rt.total_starvation_cost(),
         trace=rt.tracer.trace,
         sim_metrics=simulation_snapshot(env, rt),
+        fastforward=FastForwardInfo(
+            enabled=enabled, certified=False, reason=reason
+        ),
     )

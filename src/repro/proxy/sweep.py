@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..obs import RunReport, get_registry
+from .calibration import calibrate_iterations, time_single_kernel
 from .matmul import ProxyConfig, run_proxy  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +73,11 @@ PAPER_SLACK_VALUES_S: Tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
 
 #: OpenMP thread counts tested (4 collected but unplotted in the paper).
 PAPER_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def _slack_bucket(slack_s: float) -> str:
+    """Rounded-slack secondary-index key (7 significant digits)."""
+    return f"{slack_s:.6e}"
 
 
 @dataclass(frozen=True)
@@ -159,31 +165,43 @@ class SweepResult:
     report: Optional[RunReport] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
-        # O(1) exact-lookup index; kept in sync by add().
-        self._index: Dict[Tuple[int, int, float], SweepPoint] = {
-            (p.matrix_size, p.threads, p.slack_s): p for p in self.points
-        }
+        # O(1) exact-lookup index plus a rounded-slack secondary index
+        # for near-miss lookups; both kept in sync by add().
+        self._index: Dict[Tuple[int, int, float], SweepPoint] = {}
+        self._near: Dict[Tuple[int, int, str], SweepPoint] = {}
+        for p in self.points:
+            self._index_point(p)
+
+    def _index_point(self, point: SweepPoint) -> None:
+        self._index[(point.matrix_size, point.threads, point.slack_s)] = point
+        self._near[
+            (point.matrix_size, point.threads, _slack_bucket(point.slack_s))
+        ] = point
 
     def add(self, point: SweepPoint) -> None:
         """Record one measured point."""
         self.points.append(point)
-        self._index[(point.matrix_size, point.threads, point.slack_s)] = point
+        self._index_point(point)
 
     def get(self, matrix_size: int, threads: int, slack_s: float) -> SweepPoint:
         """Exact lookup of one grid point (O(1) on the grid key).
 
-        Falls back to a tolerance scan for slack values that are
-        float-close to a grid value without being bit-identical.
+        Slack values float-close to a stored value without being
+        bit-identical resolve through a rounded-slack secondary index:
+        any point within the tolerance ``1e-12 + 1e-9 * slack_s``
+        shares a 7-significant-digit bucket with ``slack_s`` or with
+        one of ``slack_s +/- tolerance`` (rounding is monotone and the
+        bucket width dwarfs the tolerance, so the three probes cover
+        every boundary crossing) — near-miss lookups stay O(1) instead
+        of scanning every point.
         """
         point = self._index.get((matrix_size, threads, slack_s))
         if point is not None:
             return point
-        for p in self.points:
-            if (
-                p.matrix_size == matrix_size
-                and p.threads == threads
-                and abs(p.slack_s - slack_s) <= 1e-12 + 1e-9 * slack_s
-            ):
+        tol = 1e-12 + 1e-9 * slack_s
+        for probe in (slack_s, slack_s - tol, slack_s + tol):
+            p = self._near.get((matrix_size, threads, _slack_bucket(probe)))
+            if p is not None and abs(p.slack_s - slack_s) <= tol:
                 return p
         raise KeyError((matrix_size, threads, slack_s))
 
@@ -215,6 +233,7 @@ def run_slack_sweep(
     workers: Optional[int] = 1,
     cache: Optional["PointCache"] = None,
     executor: Optional["SweepExecutor"] = None,
+    fast_forward: Optional[bool] = None,
 ) -> SweepResult:
     """Measure the slack response surface over a parameter grid.
 
@@ -229,7 +248,15 @@ def run_slack_sweep(
     same deterministic grid order either way. ``cache``
     attaches a per-point result store so previously measured points are
     never re-run; ``executor`` substitutes a fully custom executor
-    (its ``workers``/``cache`` then take precedence).
+    (its ``workers``/``cache`` then take precedence). ``fast_forward``
+    passes the steady-state fast-forward knob through to every point's
+    :func:`repro.proxy.run_proxy` (``None`` = the proxy default, on;
+    results are bit-identical either way).
+
+    Calibration is hoisted out of the per-point workers: the
+    single-kernel duration and the iteration count are computed once
+    per matrix size here, and every point of that size (all thread
+    counts, all slacks) shares them via its task.
 
     When metrics are enabled (:func:`repro.obs.enable_metrics` or the
     CLI's ``--metrics-out``), the sweep publishes DES/GPU/fabric/cache
@@ -238,6 +265,22 @@ def run_slack_sweep(
     """
     from ..parallel import PointTask, SweepExecutor
 
+    # Hoisted calibration: one kernel-timing mini-simulation and one
+    # iteration-count derivation per matrix size, shared by every
+    # point of that size instead of recomputed in each worker. The
+    # resulting iteration count is identical to what per-point
+    # calibration would choose (same inputs, same function).
+    calibration: Dict[int, Tuple[float, int]] = {}
+    for n in matrix_sizes:
+        if n in calibration:
+            continue
+        probe = ProxyConfig(matrix_size=n, target_compute_s=target_compute_s)
+        kt = time_single_kernel(n, probe.gpu, probe.pcie, probe.dtype_bytes)
+        iters = iterations or calibrate_iterations(
+            kt, target_s=target_compute_s
+        )
+        calibration[n] = (kt, iters)
+
     # Grid order is the contract: threads-major, then matrix size, then
     # the baseline followed by the slack values — exactly the historical
     # sequential loop nesting.
@@ -245,7 +288,7 @@ def run_slack_sweep(
         ProxyConfig(
             matrix_size=n,
             threads=t,
-            iterations=iterations,
+            iterations=calibration[n][1],
             target_compute_s=target_compute_s,
         )
         for t in threads
@@ -253,8 +296,14 @@ def run_slack_sweep(
     ]
     tasks: List[PointTask] = []
     for config in configs:
-        tasks.append(PointTask(config, 0.0))
-        tasks.extend(PointTask(config, s) for s in slack_values_s)
+        kt = calibration[config.matrix_size][0]
+        tasks.append(
+            PointTask(config, 0.0, kernel_time_s=kt, fast_forward=fast_forward)
+        )
+        tasks.extend(
+            PointTask(config, s, kernel_time_s=kt, fast_forward=fast_forward)
+            for s in slack_values_s
+        )
 
     ex = executor if executor is not None else SweepExecutor(
         workers=workers, cache=cache

@@ -16,6 +16,7 @@ from .analysis import (
 )
 from .compare import KernelDelta, TraceComparison, compare_traces
 from .container import Trace
+from .epochs import RepeatedEpochTrace
 from .events import CopyKind, EventKind, TraceEvent
 from .export import from_csv, from_json, to_csv, to_json
 from .timeline import GapAnalysis, device_gaps, utilization_series
@@ -23,6 +24,7 @@ from .tracer import NullTracer, Tracer
 
 __all__ = [
     "Trace",
+    "RepeatedEpochTrace",
     "TraceEvent",
     "EventKind",
     "CopyKind",

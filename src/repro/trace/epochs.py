@@ -1,0 +1,209 @@
+"""Compressed trace for fast-forwarded runs: one epoch, repeated.
+
+When the steady-state fast-forward engine (:mod:`repro.proxy.fastforward`)
+skips ``S`` bit-identical loop iterations, the full trace it owes the
+caller is the truncated run's trace with ``S`` time-shifted copies of
+one reference epoch spliced in. :class:`RepeatedEpochTrace` stores
+exactly that recipe — the truncated base events, the reference window,
+the cycle period and the repeat count — and only materializes the full
+event list when an analysis method actually needs it. A sweep that
+reads scalar results pays nothing; a caller that profiles the trace
+gets every event the full simulation would have recorded, bit for bit.
+
+The decomposition partitions strictly by event *start* time (events are
+recorded at completion, so a spanning event belongs to the window its
+start falls in):
+
+* base events starting before the certification boundary — unchanged;
+* reference-window events, replicated ``j = 1..S`` times at
+  ``start + j*period`` (correlation ids advance by the per-cycle
+  stride, matching the ids the full run would have issued);
+* base events starting at/after the boundary (the truncated run's
+  final epochs and teardown) — shifted by ``S*period``.
+
+All shifts are exact because every timestamp sits on the dyadic tick
+grid (:mod:`repro.des.timebase`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List
+
+from .container import Trace
+from .events import TraceEvent
+
+__all__ = ["RepeatedEpochTrace"]
+
+
+class RepeatedEpochTrace(Trace):
+    """A :class:`Trace` whose middle is one epoch repeated ``S`` times.
+
+    Parameters
+    ----------
+    base_events:
+        The truncated run's recorded events, in append order.
+    window_start, window_end:
+        The reference epoch ``[window_start, window_end)`` — the last
+        certified steady-state cycle of the truncated run.
+    period_s:
+        The cycle period (``window_end - window_start``).
+    repeats:
+        How many skipped cycles to splice in.
+    correlation_stride:
+        Correlation ids issued per cycle; replica ``j`` advances the
+        reference events' nonzero ids by ``j * correlation_stride``.
+    """
+
+    def __init__(
+        self,
+        base_events: Iterable[TraceEvent],
+        *,
+        window_start: float,
+        window_end: float,
+        period_s: float,
+        repeats: int,
+        correlation_stride: int,
+        name: str = "",
+    ) -> None:
+        if repeats < 0:
+            raise ValueError("repeats must be non-negative")
+        super().__init__(None, name=name)
+        self._base: List[TraceEvent] = list(base_events)
+        self._window_start = window_start
+        self._window_end = window_end
+        self._period_s = period_s
+        self._repeats = int(repeats)
+        self._corr_stride = int(correlation_stride)
+        self._ref_count = sum(
+            1 for e in self._base if window_start <= e.start < window_end
+        )
+        self._materialized = False
+
+    # -- compression metadata ----------------------------------------------------
+    @property
+    def repeats(self) -> int:
+        """Number of spliced-in cycle copies."""
+        return self._repeats
+
+    @property
+    def period_s(self) -> float:
+        """The steady-state cycle period."""
+        return self._period_s
+
+    @property
+    def events_per_cycle(self) -> int:
+        """Trace events starting inside one reference cycle."""
+        return self._ref_count
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the full event list has been expanded."""
+        return self._materialized
+
+    # -- expansion ---------------------------------------------------------------
+    def _materialize(self) -> None:
+        if self._materialized:
+            return
+        w0, w1 = self._window_start, self._window_end
+        period, stride = self._period_s, self._corr_stride
+        events: List[TraceEvent] = []
+        ref: List[TraceEvent] = []
+        tail: List[TraceEvent] = []
+        for e in self._base:
+            if e.start < w1:
+                events.append(e)
+                if e.start >= w0:
+                    ref.append(e)
+            else:
+                tail.append(e)
+        for j in range(1, self._repeats + 1):
+            off = j * period
+            corr_off = j * stride
+            for e in ref:
+                events.append(
+                    replace(
+                        e,
+                        start=e.start + off,
+                        end=e.end + off,
+                        correlation_id=(
+                            e.correlation_id + corr_off if e.correlation_id else 0
+                        ),
+                    )
+                )
+        off = self._repeats * period
+        corr_off = self._repeats * stride
+        for e in tail:
+            events.append(
+                replace(
+                    e,
+                    start=e.start + off,
+                    end=e.end + off,
+                    correlation_id=(
+                        e.correlation_id + corr_off if e.correlation_id else 0
+                    ),
+                )
+            )
+        self._events = events
+        self._sorted = False
+        self._materialized = True
+
+    def _ensure_sorted(self) -> None:
+        self._materialize()
+        super()._ensure_sorted()
+
+    # -- cheap paths that must not force expansion --------------------------------
+    def __len__(self) -> int:
+        if self._materialized:
+            return len(self._events)
+        return len(self._base) + self._repeats * self._ref_count
+
+    def threads(self) -> List[int]:
+        if self._materialized:
+            return super().threads()
+        # Replicas only duplicate base events, so the thread set is
+        # exactly the base trace's.
+        return sorted({e.thread for e in self._base})
+
+    @property
+    def start(self) -> float:
+        if self._materialized:
+            return Trace.start.fget(self)  # type: ignore[attr-defined]
+        # Replicas and the shifted tail start no earlier than the base
+        # prefix, so the earliest start is the base minimum.
+        if not self._base:
+            return 0.0
+        return min(e.start for e in self._base)
+
+    # -- methods reading _events directly: expand first ----------------------------
+    @property
+    def end(self) -> float:
+        self._materialize()
+        return Trace.end.fget(self)  # type: ignore[attr-defined]
+
+    def total_time(self) -> float:
+        self._materialize()
+        return super().total_time()
+
+    def busy_time(self) -> float:
+        self._materialize()
+        return super().busy_time()
+
+    def max_concurrency(self) -> int:
+        self._materialize()
+        return super().max_concurrency()
+
+    def append(self, event: TraceEvent) -> None:
+        self._materialize()
+        super().append(event)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        self._materialize()
+        super().extend(events)
+
+    def __repr__(self) -> str:
+        state = "expanded" if self._materialized else "compressed"
+        return (
+            f"<RepeatedEpochTrace {self.name!r}: {len(self)} events "
+            f"({state}, {self._repeats} repeated cycles)>"
+        )

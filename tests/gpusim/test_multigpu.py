@@ -92,7 +92,7 @@ class TestPreloadShim:
     def test_full_coverage_equals_slack_model(self):
         shim = PreloadShim(10e-6, coverage=1.0)
         for _ in range(100):
-            assert shim.sample() == 10e-6
+            assert shim.sample() == pytest.approx(10e-6)
         assert shim.calls_missed == 0
         assert shim.observed_coverage == 1.0
 

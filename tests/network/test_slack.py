@@ -78,7 +78,7 @@ class TestSlackModel:
     def test_deterministic_sampling(self):
         model = SlackModel(5 * US)
         for _ in range(10):
-            assert model.sample() == 5 * US
+            assert model.sample() == pytest.approx(5 * US)
         assert model.calls_delayed == 10
         assert model.total_injected_s == pytest.approx(50 * US)
 

@@ -32,9 +32,9 @@ def count_proxy_runs(monkeypatch):
     calls = []
     real = point_mod.run_proxy
 
-    def counting(config, slack=None):
+    def counting(config, slack=None, **kwargs):
         calls.append((config, slack))
-        return real(config, slack)
+        return real(config, slack, **kwargs)
 
     monkeypatch.setattr(point_mod, "run_proxy", counting)
     return calls

@@ -1,0 +1,209 @@
+"""Steady-state fast-forward: parity, refusal gates, repeated traces.
+
+The contract under test is strong: a fast-forwarded proxy run is
+**bit-identical** to the full event-by-event simulation in every
+result field — runtimes, injected slack, starvation cost, the trace,
+and the complete simulator-telemetry snapshot. These tests compare
+with ``==``, not ``pytest.approx``, on purpose.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import SlackModel
+from repro.proxy import FastForwardInfo, ProxyConfig, run_proxy
+from repro.proxy.fastforward import MIN_ITERATIONS, refusal_reason
+from repro.trace import RepeatedEpochTrace
+
+
+def _pair(config, slack_s):
+    """One config run both ways: full simulation and fast-forwarded."""
+    full = run_proxy(config, SlackModel(slack_s), fast_forward=False)
+    fast = run_proxy(config, SlackModel(slack_s), fast_forward=True)
+    return full, fast
+
+
+def _assert_bit_identical(full, fast):
+    assert full.loop_runtime_s == fast.loop_runtime_s
+    assert full.corrected_runtime_s == fast.corrected_runtime_s
+    assert full.injected_slack_s == fast.injected_slack_s
+    assert full.starvation_cost_s == fast.starvation_cost_s
+    assert full.iterations == fast.iterations
+    assert full.kernel_time_s == fast.kernel_time_s
+    assert len(full.trace) == len(fast.trace)
+    assert full.sim_metrics == fast.sim_metrics
+
+
+class TestParity:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_bit_identical_across_thread_counts(self, threads):
+        config = ProxyConfig(matrix_size=512, threads=threads, iterations=40)
+        full, fast = _pair(config, 1e-5)
+        assert fast.fastforward is not None and fast.fastforward.certified
+        assert fast.fastforward.skipped_iterations > 0
+        _assert_bit_identical(full, fast)
+
+    @pytest.mark.parametrize("slack_s", [0.0, 1e-5, 1e-3])
+    def test_bit_identical_across_slacks(self, slack_s):
+        config = ProxyConfig(matrix_size=512, threads=2, iterations=30)
+        full = run_proxy(
+            config,
+            SlackModel.none() if slack_s == 0.0 else SlackModel(slack_s),
+            fast_forward=False,
+        )
+        fast = run_proxy(
+            config,
+            SlackModel.none() if slack_s == 0.0 else SlackModel(slack_s),
+            fast_forward=True,
+        )
+        assert fast.fastforward.certified
+        _assert_bit_identical(full, fast)
+
+    def test_bit_identical_large_matrix(self):
+        config = ProxyConfig(matrix_size=2048, threads=2, iterations=20)
+        full, fast = _pair(config, 1e-4)
+        assert fast.fastforward.certified
+        _assert_bit_identical(full, fast)
+
+    def test_trace_events_identical(self):
+        # The repeated-epoch trace expands to the exact event list the
+        # full simulation records — every field of every event.
+        config = ProxyConfig(matrix_size=512, threads=2, iterations=30)
+        full, fast = _pair(config, 1e-5)
+        full_events = list(full.trace)
+        fast_events = list(fast.trace)
+        assert len(full_events) == len(fast_events)
+        for a, b in zip(full_events, fast_events):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+        assert full.trace.busy_time() == fast.trace.busy_time()
+        assert full.trace.total_time() == fast.trace.total_time()
+        assert full.trace.max_concurrency() == fast.trace.max_concurrency()
+
+    def test_info_accounting(self):
+        config = ProxyConfig(matrix_size=512, threads=1, iterations=100)
+        fast = run_proxy(config, SlackModel(1e-5))
+        info = fast.fastforward
+        assert isinstance(info, FastForwardInfo)
+        assert info.enabled and info.certified and info.reason is None
+        assert info.warmup_iterations + info.skipped_iterations == 100
+        assert info.warmup_iterations < 15  # settles within a few epochs
+        assert info.events_skipped > 0
+        assert info.cycle_period_s > 0
+
+
+class TestRefusalGates:
+    """Ineligible configs run the full simulation — and say why."""
+
+    def _assert_full_run(self, config, make_slack, reason):
+        # SlackModel instances are stateful (they account the delays
+        # they hand out), so each run gets a fresh one.
+        default = run_proxy(config, make_slack())
+        assert default.fastforward is not None
+        assert not default.fastforward.certified
+        assert default.fastforward.reason == reason
+        # The fallback IS the full simulation: forcing fast_forward
+        # off changes nothing but the recorded reason.
+        off = run_proxy(config, make_slack(), fast_forward=False)
+        assert off.fastforward.reason == "disabled"
+        _assert_bit_identical(off, default)
+
+    def test_phase_barrier_refused(self):
+        config = ProxyConfig(
+            matrix_size=512, threads=2, iterations=10, phase_barrier=True
+        )
+        self._assert_full_run(config, lambda: SlackModel(1e-5), "phase-barrier")
+
+    @given(spacing=st.floats(min_value=1e-9, max_value=1e-3))
+    @settings(max_examples=5, deadline=None)
+    def test_iteration_spacing_refused(self, spacing):
+        config = ProxyConfig(
+            matrix_size=256, threads=1, iterations=8,
+            iteration_spacing_s=spacing,
+        )
+        self._assert_full_run(
+            config, lambda: SlackModel(1e-5), "iteration-spacing"
+        )
+
+    @given(offset=st.floats(min_value=1e-9, max_value=1e-3))
+    @settings(max_examples=5, deadline=None)
+    def test_thread_launch_offset_refused(self, offset):
+        config = ProxyConfig(
+            matrix_size=256, threads=2, iterations=8,
+            thread_launch_offset_s=offset,
+        )
+        self._assert_full_run(
+            config, lambda: SlackModel(1e-5), "thread-launch-offset"
+        )
+
+    def test_jitter_refused(self):
+        config = ProxyConfig(matrix_size=256, threads=1, iterations=8)
+        slack = SlackModel(1e-5, jitter_fraction=0.1)
+        result = run_proxy(config, slack)
+        assert not result.fastforward.certified
+        assert result.fastforward.reason == "slack-jitter"
+
+    def test_slack_subclass_refused(self):
+        class Shim(SlackModel):
+            pass
+
+        config = ProxyConfig(matrix_size=256, threads=1, iterations=8)
+        self._assert_full_run(
+            config, lambda: Shim(1e-5), "slack-model-subclass"
+        )
+
+    @given(iterations=st.integers(min_value=1, max_value=MIN_ITERATIONS - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_too_few_iterations_refused(self, iterations):
+        config = ProxyConfig(
+            matrix_size=256, threads=1, iterations=iterations
+        )
+        self._assert_full_run(
+            config, lambda: SlackModel(1e-5), "too-few-iterations"
+        )
+
+    def test_refusal_reason_eligible(self):
+        config = ProxyConfig(matrix_size=512, threads=2, iterations=40)
+        assert refusal_reason(config, SlackModel(1e-5), 40) is None
+
+    def test_never_settling_run_reports_no_fixed_point(self):
+        # phase_barrier with threads=1 builds no barriers, so the gate
+        # cannot be exercised that way; instead use a run short enough
+        # to be eligible but whose monitor dies before certifying is
+        # hard to construct deterministically — the "disabled" knob is
+        # the reliable negative control.
+        config = ProxyConfig(matrix_size=512, threads=1, iterations=40)
+        off = run_proxy(config, SlackModel(1e-5), fast_forward=False)
+        assert off.fastforward.reason == "disabled"
+        assert not off.fastforward.certified
+
+
+class TestRepeatedEpochTrace:
+    def _fast(self):
+        config = ProxyConfig(matrix_size=512, threads=1, iterations=60)
+        return run_proxy(config, SlackModel(1e-5))
+
+    def test_lazy_until_expanded(self):
+        trace = self._fast().trace
+        assert isinstance(trace, RepeatedEpochTrace)
+        assert not trace.materialized
+        n = len(trace)  # cheap: arithmetic, no expansion
+        assert not trace.materialized
+        events = list(trace)
+        assert trace.materialized
+        assert len(events) == n
+
+    def test_expanded_events_sorted_and_duration_positive(self):
+        trace = self._fast().trace
+        events = list(trace)
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+        assert all(e.end >= e.start for e in events)
+
+    def test_correlation_ids_unique_per_operation(self):
+        trace = self._fast().trace
+        kernels = trace.kernels()
+        corr = [e.correlation_id for e in kernels]
+        assert len(set(corr)) == len(corr)

@@ -324,3 +324,99 @@ class TestOffsetAndSpacingControls:
             ProxyConfig(thread_launch_offset_s=-1.0)
         with pytest.raises(ValueError):
             ProxyConfig(iteration_spacing_s=-1.0)
+
+
+class TestSweepNearMissLookup:
+    """SweepResult.get resolves float-close slacks via an O(1) index."""
+
+    def _result_with(self, slacks):
+        from repro.proxy import SweepPoint, SweepResult
+
+        result = SweepResult()
+        for s in slacks:
+            result.add(
+                SweepPoint(
+                    matrix_size=512, threads=1, slack_s=s,
+                    loop_runtime_s=1.0, corrected_runtime_s=1.0,
+                    baseline_runtime_s=1.0, iterations=10,
+                    kernel_time_s=1e-3,
+                )
+            )
+        return result
+
+    @given(
+        slack=st.floats(min_value=1e-7, max_value=1e-1,
+                        allow_nan=False, allow_infinity=False),
+        rel=st.floats(min_value=-0.9e-9, max_value=0.9e-9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_within_tolerance_resolves(self, slack, rel):
+        result = self._result_with([slack])
+        probe = slack * (1.0 + rel)
+        assert result.get(512, 1, probe).slack_s == slack
+
+    @given(
+        slack=st.floats(min_value=1e-7, max_value=1e-1,
+                        allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_outside_tolerance_raises(self, slack):
+        result = self._result_with([slack])
+        # Clear both tolerance terms: the 1e-9 relative part and the
+        # 1e-12 absolute floor (which dominates for small slacks).
+        probe = slack + max(slack * 1e-6, 1e-11)
+        with pytest.raises(KeyError):
+            result.get(512, 1, probe)
+
+    def test_paper_grid_near_misses(self):
+        from repro.proxy import PAPER_SLACK_VALUES_S
+
+        result = self._result_with(PAPER_SLACK_VALUES_S)
+        for s in PAPER_SLACK_VALUES_S:
+            # A decimal round-trip through 12 significant digits is the
+            # classic near-miss source (JSON files written by hand).
+            probe = float(f"{s:.12g}")
+            assert result.get(512, 1, probe).slack_s == s
+
+
+class TestHoistedCalibration:
+    def test_sweep_points_carry_shared_calibration(self):
+        # Auto-calibrated sweep: calibration runs once per matrix size
+        # in the sweep layer and every point carries its values.
+        sweep = run_slack_sweep(
+            matrix_sizes=(512,),
+            slack_values_s=(1e-5,),
+            threads=(1,),
+            iterations=None,
+        )
+        kt = time_single_kernel(512)
+        p = sweep.get(512, 1, 1e-5)
+        assert p.kernel_time_s == kt
+        assert p.iterations == calibrate_iterations(kt)
+
+    def test_fastforward_counters_published(self):
+        from repro.obs import collecting, get_registry
+
+        with collecting():
+            run_slack_sweep(
+                matrix_sizes=(512,),
+                slack_values_s=(1e-5,),
+                threads=(1,),
+                iterations=30,
+            )
+            reg = get_registry()
+            # Baseline + one slack point, both certified.
+            assert reg.counter("proxy.fastforward.hits").value == 2
+            assert reg.counter("proxy.fastforward.fallbacks").value == 0
+            assert reg.counter("proxy.fastforward.events_skipped").value > 0
+
+    def test_no_fast_forward_sweep_is_identical(self):
+        kwargs = dict(
+            matrix_sizes=(512,),
+            slack_values_s=(1e-5, 1e-3),
+            threads=(2,),
+            iterations=30,
+        )
+        fast = run_slack_sweep(**kwargs)
+        full = run_slack_sweep(fast_forward=False, **kwargs)
+        assert fast.points == full.points
