@@ -45,6 +45,14 @@ application models
     :class:`LJParams`, :class:`LammpsScalingModel`,
     :class:`LammpsProfileConfig`, :func:`profile_lammps`,
     :class:`CosmoFlowProfileConfig`, :func:`profile_cosmoflow`.
+fault injection
+    :class:`FaultPlan` and its event taxonomy (:class:`LatencySpike`,
+    :class:`CongestionEpisode`, :class:`LinkFlap`,
+    :class:`MessageLoss`, :class:`GpuStall`),
+    :class:`FabricTimeoutError`, :func:`run_degraded_sweep`,
+    :class:`DegradedSweepResult` — the ``faults=`` knob on
+    :func:`run_proxy` / :func:`run_slack_sweep` /
+    :class:`ExperimentContext` (see ``docs/faults.md``).
 parallel execution
     :class:`SweepExecutor`, :class:`PointCache`.
 experiments & observability
@@ -67,6 +75,17 @@ from .apps import (
 )
 from .des import Environment
 from .experiments import ExperimentContext, run_all, run_experiment
+from .faults import (
+    CongestionEpisode,
+    DegradedSweepResult,
+    FabricTimeoutError,
+    FaultPlan,
+    GpuStall,
+    LatencySpike,
+    LinkFlap,
+    MessageLoss,
+    run_degraded_sweep,
+)
 from .gpusim import CudaRuntime, KernelSpec, matmul_kernel
 from .hw import (
     A100_SXM4_40GB,
@@ -150,6 +169,16 @@ __all__ = [
     "profile_lammps",
     "CosmoFlowProfileConfig",
     "profile_cosmoflow",
+    # fault injection
+    "FaultPlan",
+    "LatencySpike",
+    "CongestionEpisode",
+    "LinkFlap",
+    "MessageLoss",
+    "GpuStall",
+    "FabricTimeoutError",
+    "run_degraded_sweep",
+    "DegradedSweepResult",
     # parallel execution
     "SweepExecutor",
     "PointCache",

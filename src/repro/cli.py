@@ -10,7 +10,9 @@ Subcommands:
 * ``slack <seconds>`` — quick slack-to-distance conversion;
 * ``profile {lammps,cosmoflow}`` — trace an application model and
   predict its slack penalty (optionally exporting the trace);
-* ``sweep`` — measure a slack response surface on a custom grid;
+* ``sweep`` — measure a slack response surface on a custom grid
+  (``--faults SPEC`` degrades the fabric, see docs/faults.md);
+* ``faults`` — describe/validate a fault-plan spec without running;
 * ``metrics`` — render a RunReport JSON (see docs/observability.md)
   as a human-readable table.
 
@@ -101,7 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--iterations", type=int, default=25,
                          help="loop iterations per point (default 25; "
                               "0 = auto-calibrate like the paper)")
+    sweep_p.add_argument("--faults", metavar="SPEC", dest="faults",
+                         help="degrade the fabric with a fault plan "
+                              "(spec DSL or JSON; see 'faults' "
+                              "subcommand and docs/faults.md), e.g. "
+                              "'seed=42;loss:rate=1%%;"
+                              "flap:start=5ms,down=2ms'")
     _add_parallel_flags(sweep_p)
+
+    faults_p = sub.add_parser(
+        "faults", help="describe or validate a fault-plan spec"
+    )
+    faults_p.add_argument("action", choices=["describe", "validate"],
+                          help="describe: print the plan's events and "
+                               "determinism contract; validate: parse "
+                               "and cross-check only")
+    faults_p.add_argument("spec", metavar="SPEC",
+                          help="fault-plan spec (DSL clauses or a JSON "
+                               "document; see docs/faults.md)")
 
     metrics_p = sub.add_parser(
         "metrics", help="render a RunReport JSON as a human-readable table"
@@ -171,6 +190,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
 
     workers = _resolve_workers(args)
     metrics_out = _maybe_enable_metrics(args)
@@ -332,6 +353,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Describe or validate a fault-plan spec without running anything."""
+    from .faults import FaultPlan
+
+    try:
+        plan = FaultPlan.from_spec(args.spec).validate()
+    except ValueError as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "describe":
+        print(plan.describe())
+    else:
+        print(
+            f"valid fault plan: seed={plan.seed}, "
+            f"{len(plan.events)} event(s)"
+        )
+    return 0
+
+
+def _parse_faults_arg(args: argparse.Namespace):
+    """Parse a ``--faults`` spec (None when absent or empty)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from .faults import FaultPlan
+
+    try:
+        plan = FaultPlan.from_spec(spec).validate()
+    except ValueError as exc:
+        raise SystemExit(f"invalid --faults spec: {exc}")
+    return None if plan.is_empty else plan
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run a custom proxy sweep and print the surface."""
     from .experiments.context import default_cache_dir
@@ -347,6 +401,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     slacks = sorted(args.slacks or PAPER_SLACK_VALUES_S)
     threads = args.threads or [1]
     iterations = args.iterations if args.iterations > 0 else None
+    faults = _parse_faults_arg(args)
     metrics_out = _maybe_enable_metrics(args)
     cache = (
         None if args.no_cache
@@ -360,6 +415,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=_resolve_workers(args),
         cache=cache,
         fast_forward=False if args.no_fast_forward else None,
+        faults=faults,
     )
     if sweep.timing is not None:
         t = sweep.timing

@@ -32,6 +32,7 @@ from ..apps import (
 )
 from ..apps.base import AppProfile
 from ..apps.lammps import LJParams
+from ..faults import FaultPlan
 from ..parallel import PointCache
 from ..proxy import (
     PAPER_MATRIX_SIZES,
@@ -67,9 +68,12 @@ class ExperimentContext:
     :class:`~repro.parallel.PointCache` instance substitutes a custom
     per-point store. ``fast_forward`` passes the proxy's steady-state
     fast-forward knob through to the sweep (``None`` = proxy default,
-    on; the surface is bit-identical either way). ``use_cache`` is the
-    deprecated spelling of ``cache`` and will be removed in a future
-    release.
+    on; the surface is bit-identical either way). ``faults`` attaches
+    a :class:`~repro.faults.FaultPlan` to the proxy sweep, making
+    :meth:`surface` a *degraded-mode* response surface (the plan joins
+    the surface-cache key, so healthy and degraded surfaces never
+    alias). ``use_cache`` is the deprecated spelling of ``cache`` and
+    will be removed in a future release.
     """
 
     def __init__(
@@ -80,6 +84,7 @@ class ExperimentContext:
         workers: Optional[int] = 1,
         cache: Union[bool, PointCache] = True,
         fast_forward: Optional[bool] = None,
+        faults: Optional[FaultPlan] = None,
         use_cache: Optional[bool] = None,
     ) -> None:
         if use_cache is not None:
@@ -95,6 +100,11 @@ class ExperimentContext:
         self.workers = workers
         self.cache = cache
         self.fast_forward = fast_forward
+        # Normalize the healthy-fabric spellings (None / empty plan) to
+        # None so cache paths and sweep behavior are identical.
+        self.faults = (
+            faults if faults is not None and not faults.is_empty else None
+        )
         self._surface: Optional[SlackResponseSurface] = None
         self._profiles: Dict[str, AppProfile] = {}
         #: Timing of the sweep that built the surface this process
@@ -140,6 +150,7 @@ class ExperimentContext:
             workers=self.workers,
             cache=self.point_cache(),
             fast_forward=self.fast_forward,
+            faults=self.faults,
         )
         self.sweep_timing = sweep.timing
         self._surface = SlackResponseSurface(sweep)
@@ -162,16 +173,18 @@ class ExperimentContext:
     def _surface_cache_path(self) -> Optional[Path]:
         if not self.cache:
             return None
-        key = json.dumps(
-            {
-                "matrix_sizes": PAPER_MATRIX_SIZES,
-                "slacks": PAPER_SLACK_VALUES_S,
-                "threads": PAPER_THREAD_COUNTS,
-                "iterations": self.sweep_iterations,
-                "version": 1,
-            },
-            sort_keys=True,
-        )
+        key_doc = {
+            "matrix_sizes": PAPER_MATRIX_SIZES,
+            "slacks": PAPER_SLACK_VALUES_S,
+            "threads": PAPER_THREAD_COUNTS,
+            "iterations": self.sweep_iterations,
+            "version": 1,
+        }
+        if self.faults is not None:
+            # Only degraded surfaces extend the key: healthy surface
+            # files keep their historical digests (and stay warm).
+            key_doc["faults"] = self.faults.to_doc()
+        key = json.dumps(key_doc, sort_keys=True)
         digest = hashlib.sha256(key.encode()).hexdigest()[:16]
         return self._cache_base() / f"surface-{digest}.json"
 

@@ -118,7 +118,17 @@ class Engine:
 
 
 class ComputeEngine(Engine):
-    """The kernel-execution engine, with starvation cost on idle gaps."""
+    """The kernel-execution engine, with starvation cost on idle gaps.
+
+    ``faults`` optionally holds a compiled
+    :class:`~repro.faults.FaultInjector`: operations starting inside a
+    ``GpuStall`` window pay its extra busy time (throttling/preemption
+    pauses), charged through the same pre-execution path as the
+    starvation cost so both engine variants inherit it.
+    """
+
+    #: Optional fault injector (set by the runtime; None = healthy).
+    faults = None
 
     def __init__(
         self,
@@ -136,6 +146,8 @@ class ComputeEngine(Engine):
         # the event times they extend stay exactly representable.
         cost = quantize(self.gpu.starvation_cost(self.activity.idle_gap(self.env.now)))
         self.total_starvation_cost += cost
+        if self.faults is not None:
+            cost += self.faults.charge_stall(self.env.now)
         return cost
 
 

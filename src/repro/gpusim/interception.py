@@ -12,11 +12,14 @@ direct cost.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from ..des import Environment, Event
 from ..network import SlackModel
 from ..trace import EventKind, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultInjector
 
 __all__ = ["SlackInjector"]
 
@@ -31,6 +34,13 @@ class SlackInjector:
     model:
         The :class:`SlackModel` supplying per-call delays. Replaceable
         at runtime (sweeps re-use one simulator setup).
+    faults:
+        Optional compiled :class:`~repro.faults.FaultInjector`. When
+        set, every intercepted call first passes through the fault
+        layer (down-window waits, loss retries, spike extras) *before*
+        the base slack delay — the fabric is degraded even for the
+        zero-slack baseline. ``None`` (default) costs one ``is None``
+        check per call.
     """
 
     def __init__(
@@ -38,10 +48,12 @@ class SlackInjector:
         env: Environment,
         tracer: Tracer,
         model: Optional[SlackModel] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.env = env
         self.tracer = tracer
         self.model = model or SlackModel.none()
+        self.faults = faults
         self.calls_intercepted = 0
 
     @property
@@ -59,9 +71,16 @@ class SlackInjector:
     ) -> Generator[Event, Any, float]:
         """Sleep the calling host thread for one sampled slack delay.
 
-        Returns the injected delay so callers can account per-call.
+        Returns the injected slack delay so callers can account
+        per-call (fault-induced delay is accounted separately, inside
+        the fault injector — it must not enter Equation 1's
+        ``n_calls * slack`` subtraction).
         """
         self.calls_intercepted += 1
+        if self.faults is not None:
+            # Faults precede the is_zero fast path on purpose: a
+            # degraded fabric perturbs the zero-slack baseline too.
+            yield from self.faults.perturb_call(api_name)
         if self.model.is_zero:
             return 0.0
         delay = self.model.sample()

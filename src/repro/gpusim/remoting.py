@@ -21,9 +21,12 @@ is what a deployer cares about).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..des import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultPlan
 from ..hw import A100_SXM4_40GB, GPUSpec, PCIE_GEN4_X16, PCIeSpec
 from ..network import SlackModel
 from ..trace import Tracer
@@ -74,13 +77,19 @@ def make_remoting_runtime(
     gpu: GPUSpec = A100_SXM4_40GB,
     pcie: PCIeSpec = PCIE_GEN4_X16,
     tracer: Optional[Tracer] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> CudaRuntime:
     """A :class:`CudaRuntime` with rCUDA-style remoting costs.
 
     Per-call RPC latency arrives through the slack injector (it is a
     per-call delay, exactly like CDI slack); the bandwidth cap and the
     latency on the data path arrive through the link spec; call
-    marshalling inflates the API overhead.
+    marshalling inflates the API overhead. ``faults`` (a
+    :class:`~repro.faults.FaultPlan`) degrades the RPC transport: each
+    forwarded call is subject to the plan's down-windows, message loss
+    with retry/backoff/timeout, and latency spikes — remoting forwards
+    *every* call over the network, so a flaky fabric hits it on every
+    API crossing, not just on memcpys.
     """
     spec = spec or RemotingSpec()
     return CudaRuntime(
@@ -90,4 +99,5 @@ def make_remoting_runtime(
         tracer=tracer,
         slack=SlackModel(spec.rpc_latency_s),
         api_overhead_s=1.5e-6 + spec.per_call_overhead_s,
+        faults=faults.compile(env) if faults is not None else None,
     )

@@ -61,6 +61,13 @@ class CudaRuntime:
         The CDI slack model; default none (traditional in-node GPU).
     api_overhead_s:
         Host driver cost of a memcpy/sync API call.
+    faults:
+        Optional compiled :class:`~repro.faults.FaultInjector` (from
+        :meth:`repro.faults.FaultPlan.compile` with this runtime's
+        ``env``). Wires the degraded fabric into the slack injector
+        (per-call downtime/loss/spike effects) and the compute engine
+        (GPU stalls). ``None`` (the default, and what an empty plan
+        compiles to) keeps every fault check off the hot path.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class CudaRuntime:
         slack: Optional[SlackModel] = None,
         api_overhead_s: float = 1.5e-6,
         concurrent_kernels: bool = False,
+        faults: Optional[Any] = None,
     ) -> None:
         if api_overhead_s < 0:
             raise ValueError("api_overhead_s must be non-negative")
@@ -104,7 +112,10 @@ class CudaRuntime:
         self.copy_h2d = CopyEngine(env, "copy-h2d", self.activity)
         self.copy_d2h = CopyEngine(env, "copy-d2h", self.activity)
 
-        self.injector = SlackInjector(env, self.tracer, slack)
+        self.faults = faults
+        if faults is not None:
+            self.compute.faults = faults
+        self.injector = SlackInjector(env, self.tracer, slack, faults=faults)
 
         self._stream_ids = itertools.count(0)
         self._streams: Dict[int, Stream] = {}

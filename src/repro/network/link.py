@@ -9,9 +9,12 @@ cap. These are the building blocks the row-scale fabric composes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator, Optional, TYPE_CHECKING
 
 from ..des import Environment, Event, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultInjector
 
 __all__ = ["LinkSpec", "Link", "NICSpec", "NIC"]
 
@@ -43,11 +46,25 @@ class Link:
     Messages serialize on the wire (one at a time at full bandwidth);
     propagation latency is pipelined, so message N+1 may start
     serializing while message N is still in flight.
+
+    ``faults`` optionally attaches a compiled
+    :class:`~repro.faults.FaultInjector` (built with this link's
+    ``env``): before a message reaches the wire it waits out any
+    link-flap down-window, plays the loss/retry/backoff game (raising
+    :class:`~repro.faults.FabricTimeoutError` to the process waiting
+    on :meth:`transmit` once the retry budget is spent), and pays any
+    active latency-spike extra. ``None`` keeps the healthy fast path.
     """
 
-    def __init__(self, env: Environment, spec: LinkSpec) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        spec: LinkSpec,
+        faults: Optional["FaultInjector"] = None,
+    ) -> None:
         self.env = env
         self.spec = spec
+        self.faults = faults
         self._wire = Resource(env, capacity=1)
         self.bytes_carried = 0.0
         self.messages_carried = 0
@@ -63,6 +80,8 @@ class Link:
 
     def _transmit(self, nbytes: float) -> Generator[Event, None, None]:
         serialization = nbytes / self.spec.bandwidth_Bps
+        if self.faults is not None:
+            yield from self.faults.perturb_call(f"{self.spec.name}-tx")
         queued_at = self.env.now
         with self._wire.request() as req:
             yield req

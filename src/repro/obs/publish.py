@@ -66,7 +66,11 @@ def simulation_snapshot(
     Sections produced: ``des.*`` always; ``gpu.*`` and ``fabric.*``
     when a :class:`~repro.gpusim.CudaRuntime` is given (the fabric
     numbers come from its :class:`~repro.gpusim.interception.SlackInjector`,
-    the emulation point where CDI fabric latency enters a run).
+    the emulation point where CDI fabric latency enters a run); and
+    ``faults.*`` when the runtime carries an active
+    :class:`~repro.faults.FaultInjector` (healthy runs publish no
+    faults section at all, keeping their snapshots byte-identical to
+    pre-fault builds).
     """
     snap: Dict[str, float] = {
         f"des.{key}": value for key, value in env.metrics_snapshot().items()
@@ -92,6 +96,9 @@ def simulation_snapshot(
                 "fabric.slack_injected_s": runtime.injector.total_injected_s,
             }
         )
+        faults = getattr(runtime, "faults", None)
+        if faults is not None:
+            snap.update(faults.snapshot())
     return snap
 
 

@@ -110,7 +110,7 @@ class SweepExecutor:
         miss_idx: List[int] = []
         if self.cache is not None:
             for i, task in enumerate(tasks):
-                hit = self.cache.get(task.config, task.slack_s)
+                hit = self.cache.get(task.config, task.slack_s, task.faults)
                 if hit is not None:
                     results[i] = hit
                 else:
@@ -141,7 +141,9 @@ class SweepExecutor:
             for i, m in zip(miss_idx, measured):
                 results[i] = m
                 if self.cache is not None:
-                    self.cache.put(tasks[i].config, tasks[i].slack_s, m)
+                    self.cache.put(
+                        tasks[i].config, tasks[i].slack_s, m, tasks[i].faults
+                    )
 
         wall = perf_counter() - t0
         self.stats = ExecutorStats(

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from ..faults import FabricTimeoutError, FaultPlan
 from ..hw import OutOfMemoryError
 from ..network import SlackModel
 from ..proxy.matmul import ProxyConfig, run_proxy
@@ -48,6 +49,10 @@ class PointTask:
     #: (on). Not part of the cache key: fast-forwarded results are
     #: bit-identical to full simulations by construction.
     fast_forward: Optional[bool] = None
+    #: Optional :class:`~repro.faults.FaultPlan` degrading this point's
+    #: fabric. Part of the cache key (a degraded point is a different
+    #: measurement); picklable, so it rides to pool workers unchanged.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass(frozen=True)
@@ -132,9 +137,10 @@ def measure_point(task: PointTask) -> PointMeasurement:
     """Run one proxy grid point and reduce it to scalars.
 
     Out-of-memory configurations (the paper's 2^15 exclusion above 2
-    threads) come back as ``ok=False`` measurements rather than
-    exceptions so a worker pool never tears down mid-grid; any other
-    exception is a genuine bug and propagates.
+    threads) and fault-plan fabric timeouts come back as ``ok=False``
+    measurements rather than exceptions so a worker pool never tears
+    down mid-grid (both are deterministic verdicts of the point, safe
+    to cache); any other exception is a genuine bug and propagates.
     """
     slack = SlackModel.none() if task.slack_s == 0.0 else SlackModel(task.slack_s)
     t0 = time.perf_counter()
@@ -144,10 +150,17 @@ def measure_point(task: PointTask) -> PointMeasurement:
             slack,
             kernel_time_s=task.kernel_time_s,
             fast_forward=task.fast_forward,
+            faults=task.faults,
         )
     except OutOfMemoryError as exc:
         return PointMeasurement(
             ok=False, error=str(exc), elapsed_s=time.perf_counter() - t0
+        )
+    except FabricTimeoutError as exc:
+        return PointMeasurement(
+            ok=False,
+            error=f"fabric-timeout: {exc}",
+            elapsed_s=time.perf_counter() - t0,
         )
     ff = run.fastforward
     return PointMeasurement(

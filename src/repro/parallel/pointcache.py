@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 from typing import Optional, Union
 
+from ..faults import FaultPlan
 from ..obs import get_registry
 from ..proxy.matmul import ProxyConfig
 from .point import PointMeasurement
@@ -32,28 +33,38 @@ __all__ = ["POINT_CACHE_VERSION", "PointCache", "point_key"]
 
 #: Bump whenever simulator changes alter what a (config, slack) point
 #: measures — stale entries must not survive a behavioral change.
-#: 2026.08-3: simulated delays are tick-quantized (repro.des.timebase),
-#: shifting every runtime by up to half a tick per event, and entries
-#: carry fast-forward telemetry.
-POINT_CACHE_VERSION = "2026.08-3"
+#: 2026.08-4: points are additionally keyed on the fault plan (the
+#: degraded-fabric knob); pre-fault entries must not be mistaken for
+#: healthy measurements of the new keyspace.
+POINT_CACHE_VERSION = "2026.08-4"
 
 
 def point_key(
-    config: ProxyConfig, slack_s: float, version: str = POINT_CACHE_VERSION
+    config: ProxyConfig,
+    slack_s: float,
+    version: str = POINT_CACHE_VERSION,
+    faults: Optional[FaultPlan] = None,
 ) -> str:
     """Stable content hash identifying one sweep point.
 
     The key covers every ``ProxyConfig`` field (nested hardware specs
-    included, via ``dataclasses.asdict``), the slack value, and the
-    cache version tag. JSON with sorted keys keeps the digest stable
-    across processes and Python versions; floats round-trip exactly
-    through ``repr`` so distinct values never collide.
+    included, via ``dataclasses.asdict``), the slack value, the fault
+    plan (its canonical document form; an empty plan is normalized to
+    ``None`` so ``FaultPlan()`` and no-faults share entries, matching
+    their bit-identical results), and the cache version tag. JSON with
+    sorted keys keeps the digest stable across processes and Python
+    versions; floats round-trip exactly through ``repr`` so distinct
+    values never collide.
     """
+    fault_doc = (
+        faults.to_doc() if faults is not None and not faults.is_empty else None
+    )
     payload = json.dumps(
         {
             "config": dataclasses.asdict(config),
             "slack_s": slack_s,
             "version": version,
+            "faults": fault_doc,
         },
         sort_keys=True,
     )
@@ -84,16 +95,24 @@ class PointCache:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
-    def path_for(self, config: ProxyConfig, slack_s: float) -> Path:
+    def path_for(
+        self,
+        config: ProxyConfig,
+        slack_s: float,
+        faults: Optional[FaultPlan] = None,
+    ) -> Path:
         """On-disk location of one point's entry."""
-        key = point_key(config, slack_s, self.version)
+        key = point_key(config, slack_s, self.version, faults=faults)
         return self.root / key[:2] / f"{key}.json"
 
     def get(
-        self, config: ProxyConfig, slack_s: float
+        self,
+        config: ProxyConfig,
+        slack_s: float,
+        faults: Optional[FaultPlan] = None,
     ) -> Optional[PointMeasurement]:
         """Cached measurement for a point, or ``None`` on a miss."""
-        path = self.path_for(config, slack_s)
+        path = self.path_for(config, slack_s, faults)
         reg = get_registry()
         try:
             text = path.read_text()
@@ -115,14 +134,18 @@ class PointCache:
         return measurement
 
     def put(
-        self, config: ProxyConfig, slack_s: float, measurement: PointMeasurement
+        self,
+        config: ProxyConfig,
+        slack_s: float,
+        measurement: PointMeasurement,
+        faults: Optional[FaultPlan] = None,
     ) -> Path:
         """Store one measurement; returns the entry's path.
 
         Writes via a temporary file + rename so a crashed or
         interrupted sweep never leaves a torn entry behind.
         """
-        path = self.path_for(config, slack_s)
+        path = self.path_for(config, slack_s, faults)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(measurement.to_doc()))

@@ -106,7 +106,10 @@ class Extrapolated:
 
 
 def refusal_reason(
-    config: "ProxyConfig", slack: SlackModel, iterations: int
+    config: "ProxyConfig",
+    slack: SlackModel,
+    iterations: int,
+    faults: Optional[object] = None,
 ) -> Optional[str]:
     """Why this run is ineligible for fast-forward (None = eligible).
 
@@ -115,6 +118,12 @@ def refusal_reason(
     try to (barriers and spacing/offset knobs exist precisely to
     perturb the steady state the paper's control experiments probe).
     """
+    if faults is not None:
+        # An active fault injector makes the run time-inhomogeneous:
+        # fault windows open and close at absolute times, so no cycle
+        # certificate can extend over the skipped interval. Refuse
+        # outright rather than wasting boundary snapshots.
+        return "faults-active"
     if type(slack) is not SlackModel:
         # Subclasses (e.g. the PreloadShim coverage model) may sample
         # stochastically; only the exact base model is certified.

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from ..des import Barrier, Environment, Event
+from ..faults import FaultPlan
 from ..gpusim import CudaRuntime, matmul_kernel
 from ..hw import A100_SXM4_40GB, GPUSpec, OutOfMemoryError, PCIE_GEN4_X16, PCIeSpec
 from ..network import SlackModel
@@ -124,6 +125,7 @@ def run_proxy(
     *,
     kernel_time_s: Optional[float] = None,
     fast_forward: Optional[bool] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ProxyResult:
     """Execute the proxy in a fresh simulation and collect its result.
 
@@ -138,9 +140,16 @@ def run_proxy(
         certified bit-exactly periodic, the remaining iterations are
         extrapolated analytically instead of simulated — same result,
         O(warmup) events. Ineligible configurations (phase barriers,
-        iteration spacing, launch offsets, jittered slack) always run
-        the full simulation; ``result.fastforward`` records what
-        happened.
+        iteration spacing, launch offsets, jittered slack, active
+        fault plans) always run the full simulation;
+        ``result.fastforward`` records what happened.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` degrading the fabric
+        for this run (compiled per simulation, seeded, fully
+        deterministic). Fault-induced delay is accounted separately
+        from injected slack, so Equation 1's correction stays honest;
+        an empty plan is exactly the healthy run. Active plans refuse
+        fast-forward (``reason="faults-active"``).
 
     Raises
     ------
@@ -148,10 +157,16 @@ def run_proxy(
         If the matrices of all threads exceed device memory — e.g.
         matrix size 2^15 with 4+ threads on a 40 GiB A100, which is
         why that series is absent from the paper's Figure 3(b, c).
+    repro.faults.FabricTimeoutError
+        If a fault plan's message loss exhausts its retry budget on
+        some call (propagates from the simulated waiting process).
     """
     slack = slack or SlackModel.none()
     env = Environment()
-    rt = CudaRuntime(env, gpu=config.gpu, pcie=config.pcie, slack=slack)
+    injector = faults.compile(env) if faults is not None else None
+    rt = CudaRuntime(
+        env, gpu=config.gpu, pcie=config.pcie, slack=slack, faults=injector
+    )
 
     kernel_time = (
         kernel_time_s
@@ -165,7 +180,9 @@ def run_proxy(
     )
 
     enabled = True if fast_forward is None else bool(fast_forward)
-    reason = "disabled" if not enabled else refusal_reason(config, slack, iterations)
+    reason = "disabled" if not enabled else refusal_reason(
+        config, slack, iterations, faults=injector
+    )
     monitor = EpochMonitor(env, rt, config.threads, iterations) if (
         enabled and reason is None
     ) else None

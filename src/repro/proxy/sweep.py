@@ -27,6 +27,7 @@ from .calibration import calibrate_iterations, time_single_kernel
 from .matmul import ProxyConfig, run_proxy  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultPlan
     from ..parallel import PointCache, SweepExecutor
 
 __all__ = [
@@ -234,6 +235,7 @@ def run_slack_sweep(
     cache: Optional["PointCache"] = None,
     executor: Optional["SweepExecutor"] = None,
     fast_forward: Optional[bool] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> SweepResult:
     """Measure the slack response surface over a parameter grid.
 
@@ -262,8 +264,22 @@ def run_slack_sweep(
     CLI's ``--metrics-out``), the sweep publishes DES/GPU/fabric/cache
     telemetry into the active registry and attaches a
     :class:`repro.obs.RunReport` snapshot as ``SweepResult.report``.
+
+    ``faults`` attaches a :class:`~repro.faults.FaultPlan` to every
+    point of the grid (baselines included — the fabric is degraded,
+    period), producing a degraded-mode response surface. The plan
+    rides inside each :class:`~repro.parallel.PointTask`, is part of
+    the point-cache key, and disables per-point fast-forward; an empty
+    plan is normalized to ``None`` and reproduces the healthy sweep
+    bit-identically. For surfaces across *fault intensities* see
+    :func:`repro.faults.run_degraded_sweep`.
     """
     from ..parallel import PointTask, SweepExecutor
+
+    if faults is not None and faults.is_empty:
+        faults = None
+    if faults is not None:
+        faults.validate()
 
     # Hoisted calibration: one kernel-timing mini-simulation and one
     # iteration-count derivation per matrix size, shared by every
@@ -298,10 +314,16 @@ def run_slack_sweep(
     for config in configs:
         kt = calibration[config.matrix_size][0]
         tasks.append(
-            PointTask(config, 0.0, kernel_time_s=kt, fast_forward=fast_forward)
+            PointTask(
+                config, 0.0, kernel_time_s=kt,
+                fast_forward=fast_forward, faults=faults,
+            )
         )
         tasks.extend(
-            PointTask(config, s, kernel_time_s=kt, fast_forward=fast_forward)
+            PointTask(
+                config, s, kernel_time_s=kt,
+                fast_forward=fast_forward, faults=faults,
+            )
             for s in slack_values_s
         )
 
@@ -327,6 +349,14 @@ def run_slack_sweep(
         for slack_s in slack_values_s:
             m = measurements[i]
             i += 1
+            if not m.ok:
+                # Under a fault plan a single point can fail on its own
+                # (fabric timeout) even though its baseline survived;
+                # record the skip instead of fabricating a zero point.
+                result.skipped.append(
+                    (config.matrix_size, config.threads, m.error)
+                )
+                continue
             result.add(
                 SweepPoint(
                     matrix_size=config.matrix_size,
@@ -367,6 +397,7 @@ def run_slack_sweep(
                 "slack_values_s": list(slack_values_s),
                 "threads": list(threads),
                 "iterations": iterations,
+                "faults": faults.to_doc() if faults is not None else None,
             },
         )
     return result

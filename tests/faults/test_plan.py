@@ -1,0 +1,247 @@
+"""FaultPlan as a value: spec parsing, validation, serialization.
+
+The plan layer is declarative — everything here runs without a
+simulation. The properties pinned down are the ones the cache and the
+CLI lean on: plans round-trip through their document form exactly,
+the cache token is canonical, scaling behaves like an intensity dial,
+and invalid inputs fail loudly at construction time.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    CongestionEpisode,
+    FaultPlan,
+    GpuStall,
+    LatencySpike,
+    LinkFlap,
+    MessageLoss,
+    parse_seconds,
+)
+
+
+class TestParseSeconds:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("100us", 100e-6),
+            ("1.5ms", 1.5e-3),
+            ("2s", 2.0),
+            ("0.25", 0.25),
+            (3e-3, 3e-3),
+            (5, 5.0),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_seconds(text) == pytest.approx(expected)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_seconds("fast")
+
+
+class TestEventValidation:
+    def test_spike_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            LatencySpike(start_s=0.0, duration_s=0.0, extra_s=1e-6)
+
+    def test_spike_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            LatencySpike(start_s=-1.0, duration_s=1.0, extra_s=1e-6)
+
+    def test_loss_rejects_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            MessageLoss(rate=0.0)
+        with pytest.raises(ValueError):
+            MessageLoss(rate=1.5)
+
+    def test_loss_rejects_zero_retries(self):
+        with pytest.raises(ValueError):
+            MessageLoss(rate=0.1, max_retries=0)
+
+    def test_congestion_rejects_saturated_utilization(self):
+        with pytest.raises(ValueError):
+            CongestionEpisode(start_s=0.0, duration_s=1.0, utilization=1.0)
+
+    def test_flap_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            LinkFlap(start_s=0.0, down_s=0.0)
+
+    def test_plan_rejects_overlapping_flaps(self):
+        plan = FaultPlan(
+            events=(
+                LinkFlap(start_s=0.0, down_s=2e-3),
+                LinkFlap(start_s=1e-3, down_s=1e-3),
+            )
+        )
+        with pytest.raises(ValueError, match="overlapping link flaps"):
+            plan.validate()
+
+    def test_plan_accepts_adjacent_flaps(self):
+        plan = FaultPlan(
+            events=(
+                LinkFlap(start_s=0.0, down_s=1e-3),
+                LinkFlap(start_s=1e-3, down_s=1e-3),
+            )
+        )
+        assert plan.validate() is plan
+
+
+class TestEmptyPlan:
+    def test_is_empty_and_compiles_to_none(self):
+        from repro.des import Environment
+
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.compile(Environment()) is None
+
+    def test_with_event_makes_nonempty(self):
+        plan = FaultPlan().with_event(MessageLoss(rate=0.01))
+        assert not plan.is_empty
+        assert len(plan.events) == 1
+
+
+class TestScaling:
+    PLAN = FaultPlan(
+        seed=7,
+        events=(
+            LatencySpike(start_s=0.0, duration_s=1e-2, extra_s=1e-4),
+            MessageLoss(rate=0.01),
+            LinkFlap(start_s=5e-3, down_s=2e-3),
+            GpuStall(start_s=0.0, duration_s=1e-2, extra_s=5e-5),
+        ),
+    )
+
+    def test_zero_intensity_is_healthy(self):
+        scaled = self.PLAN.scaled(0.0)
+        assert scaled.is_empty
+        assert scaled.seed == self.PLAN.seed
+
+    def test_unit_intensity_is_identity(self):
+        assert self.PLAN.scaled(1.0) == self.PLAN
+
+    def test_magnitudes_scale(self):
+        scaled = self.PLAN.scaled(2.0)
+        spike, loss, flap, stall = scaled.events
+        assert spike.extra_s == pytest.approx(2e-4)
+        assert loss.rate == pytest.approx(0.02)
+        assert flap.down_s == pytest.approx(4e-3)
+        assert stall.extra_s == pytest.approx(1e-4)
+
+    def test_loss_rate_caps_at_one(self):
+        scaled = FaultPlan(events=(MessageLoss(rate=0.6),)).scaled(3.0)
+        assert scaled.events[0].rate == 1.0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            self.PLAN.scaled(-0.5)
+
+
+class TestSerialization:
+    PLAN = FaultPlan(
+        seed=42,
+        events=(
+            MessageLoss(rate=0.01, backoff_base_s=2e-4, max_retries=4),
+            LinkFlap(start_s=5e-3, down_s=2e-3),
+            CongestionEpisode(start_s=0.0, duration_s=1e-2, utilization=0.8),
+        ),
+    )
+
+    def test_doc_roundtrip_is_exact(self):
+        assert FaultPlan.from_doc(self.PLAN.to_doc()) == self.PLAN
+
+    def test_doc_is_json_serializable(self):
+        text = json.dumps(self.PLAN.to_doc(), sort_keys=True)
+        assert FaultPlan.from_doc(json.loads(text)) == self.PLAN
+
+    def test_cache_token_stable_and_discriminating(self):
+        assert self.PLAN.cache_token() == self.PLAN.cache_token()
+        other = FaultPlan(seed=43, events=self.PLAN.events)
+        assert other.cache_token() != self.PLAN.cache_token()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event kind"):
+            FaultPlan.from_doc({"seed": 0, "events": [{"kind": "meteor"}]})
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(ValueError, match="bad flap event fields"):
+            FaultPlan.from_doc(
+                {"seed": 0, "events": [{"kind": "flap", "bogus": 1}]}
+            )
+
+
+class TestSpecDSL:
+    SPEC = (
+        "seed=42;loss:rate=1%;flap:start=5ms,down=2ms;"
+        "spike:start=0,duration=10ms,extra=100us"
+    )
+
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec(self.SPEC)
+        assert plan.seed == 42
+        loss, flap, spike = plan.events
+        assert isinstance(loss, MessageLoss) and loss.rate == pytest.approx(0.01)
+        assert isinstance(flap, LinkFlap)
+        assert flap.start_s == pytest.approx(5e-3)
+        assert flap.down_s == pytest.approx(2e-3)
+        assert isinstance(spike, LatencySpike)
+        assert spike.extra_s == pytest.approx(100e-6)
+
+    def test_loss_extras(self):
+        plan = FaultPlan.from_spec(
+            "loss:rate=0.02,backoff=50us,retries=3,start=1ms,duration=4ms"
+        )
+        (loss,) = plan.events
+        assert loss.rate == pytest.approx(0.02)
+        assert loss.backoff_base_s == pytest.approx(50e-6)
+        assert loss.max_retries == 3
+        assert loss.duration_s == pytest.approx(4e-3)
+
+    def test_congestion_clause(self):
+        plan = FaultPlan.from_spec(
+            "congestion:start=0,duration=5ms,utilization=80%"
+        )
+        (episode,) = plan.events
+        assert isinstance(episode, CongestionEpisode)
+        assert episode.utilization == pytest.approx(0.8)
+        assert episode.extra_s > 0
+
+    def test_empty_spec_is_healthy(self):
+        assert FaultPlan.from_spec("").is_empty
+        assert FaultPlan.from_spec("  ").is_empty
+
+    def test_json_spec(self):
+        plan = FaultPlan.from_spec(self.SPEC)
+        text = json.dumps(plan.to_doc())
+        assert FaultPlan.from_spec(text) == plan
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault clause"):
+            FaultPlan.from_spec("earthquake:magnitude=9")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            FaultPlan.from_spec("flap:start=1ms,wobble=2ms")
+
+    def test_incomplete_clause_rejected(self):
+        with pytest.raises(ValueError, match="incomplete"):
+            FaultPlan.from_spec("flap:start=1ms")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError, match="bad seed"):
+            FaultPlan.from_spec("seed=lucky")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValueError, match="bad fault-plan JSON"):
+            FaultPlan.from_spec("{not json")
+
+    def test_describe_mentions_every_event(self):
+        text = FaultPlan.from_spec(self.SPEC).describe()
+        assert "seed=42" in text
+        for word in ("loss", "flap", "spike", "determinism"):
+            assert word in text
+
+    def test_describe_empty_plan(self):
+        assert "healthy fabric" in FaultPlan().describe()

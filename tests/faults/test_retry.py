@@ -1,0 +1,282 @@
+"""Retry/backoff/timeout semantics of the compiled fault injector.
+
+Pins down the exact arithmetic of the loss-retry game — the k-th
+resend waits ``quantize(backoff_base_s * 2**(k-1))`` — plus the two
+failure surfaces: retry-budget exhaustion raises
+:class:`FabricTimeoutError` *to the process waiting on the call*, and
+link-flap down-windows are waited out with exact downtime accounting.
+Loss decisions are scripted by stubbing ``draw`` where a test needs a
+specific loss count; the real counted-hash stream gets its own
+determinism checks.
+"""
+
+import pytest
+
+from repro.des import Environment, quantize
+from repro.faults import FabricTimeoutError, FaultInjector, FaultPlan
+from repro.faults.plan import LatencySpike, LinkFlap, MessageLoss
+
+BASE = 100e-6
+
+
+def _injector(env, *events, seed=0):
+    return FaultPlan(seed=seed, events=tuple(events)).compile(env)
+
+
+def _scripted(injector, draws):
+    """Replace the hash stream with a fixed sequence of decisions."""
+    it = iter(draws)
+    injector.draw = lambda: next(it)
+
+
+class TestBackoffSchedule:
+    @pytest.mark.parametrize("losses", [1, 2, 3, 4])
+    def test_kth_resend_waits_base_times_2_to_k_minus_1(self, losses):
+        env = Environment()
+        inj = _injector(env, MessageLoss(rate=0.5, backoff_base_s=BASE))
+        # `losses` lost sends, then one success.
+        _scripted(inj, [0.0] * losses + [0.9])
+
+        def caller():
+            yield from inj.perturb_call("call")
+
+        env.process(caller())
+        env.run()
+        # The injector quantizes the base once at compile time; doubling
+        # a dyadic value is exact, so the k-th resend waits exactly
+        # quantize(base) * 2**(k-1) — and the waits sum exactly too.
+        expected = sum(quantize(BASE) * 2.0 ** (k - 1) for k in range(1, losses + 1))
+        assert env.now == expected
+        assert inj.retries == losses
+        assert inj.messages_lost == losses
+        assert inj.injected == 1
+        assert inj.extra_delay_s == expected
+
+    def test_lossless_draw_costs_nothing(self):
+        env = Environment()
+        inj = _injector(env, MessageLoss(rate=0.5, backoff_base_s=BASE))
+        _scripted(inj, [0.9])
+
+        def caller():
+            yield from inj.perturb_call("call")
+
+        env.process(caller())
+        env.run()
+        assert env.now == 0.0
+        assert inj.retries == 0 and inj.injected == 0
+
+
+class TestRetryExhaustion:
+    def test_timeout_raises_to_waiting_process(self):
+        env = Environment()
+        # rate=1.0: every send is lost; the budget burns down determin-
+        # istically and the third loss exceeds max_retries=2.
+        inj = _injector(env, MessageLoss(rate=1.0, max_retries=2))
+        outcomes = {}
+
+        def worker():
+            yield from inj.perturb_call("doomed-call")
+
+        def supervisor(proc):
+            try:
+                yield proc
+            except FabricTimeoutError as exc:
+                outcomes["error"] = str(exc)
+
+        proc = env.process(worker())
+        env.process(supervisor(proc))
+        env.run()
+        assert "doomed-call" in outcomes["error"]
+        assert "2 retries" in outcomes["error"]
+        assert inj.timeouts == 1
+        assert inj.retries == 2  # both budgeted resends were used
+        assert inj.messages_lost == 3  # ... and the final loss counts
+        assert inj.injected == 1
+
+    def test_unwatched_timeout_surfaces_at_run(self):
+        env = Environment()
+        inj = _injector(env, MessageLoss(rate=1.0, max_retries=1))
+
+        def worker():
+            yield from inj.perturb_call("call")
+
+        env.process(worker())
+        with pytest.raises(FabricTimeoutError):
+            env.run()
+
+    def test_other_processes_survive_a_timeout(self):
+        env = Environment()
+        inj = _injector(env, MessageLoss(rate=1.0, max_retries=1))
+        log = []
+
+        def doomed():
+            yield from inj.perturb_call("call")
+
+        def supervisor(proc):
+            try:
+                yield proc
+            except FabricTimeoutError:
+                log.append("timed-out")
+
+        def bystander():
+            yield env.timeout(1.0)
+            log.append("bystander-done")
+
+        proc = env.process(doomed())
+        env.process(supervisor(proc))
+        env.process(bystander())
+        env.run()
+        assert log == ["timed-out", "bystander-done"]
+
+
+class TestLinkFlapDowntime:
+    FLAP = LinkFlap(start_s=1e-3, down_s=2e-3)
+
+    def test_call_in_window_waits_until_link_returns(self):
+        env = Environment()
+        inj = _injector(env, self.FLAP)
+
+        def caller():
+            # Arrive exactly at the (quantized) flap start: timeouts
+            # take raw delays, so the test supplies grid-snapped ones.
+            yield env.timeout(quantize(1e-3))
+            yield from inj.perturb_call("call")
+
+        env.process(caller())
+        env.run()
+        assert env.now == quantize(1e-3) + quantize(2e-3)
+        assert inj.downtime_s == quantize(2e-3)
+        assert inj.injected == 1
+
+    def test_partial_window_waits_the_remainder(self):
+        env = Environment()
+        inj = _injector(env, self.FLAP)
+
+        def caller():
+            yield env.timeout(quantize(2e-3))  # mid-window arrival
+            yield from inj.perturb_call("call")
+
+        env.process(caller())
+        env.run()
+        end = quantize(1e-3) + quantize(2e-3)
+        assert env.now == end
+        assert inj.downtime_s == end - quantize(2e-3)
+
+    def test_call_outside_window_unaffected(self):
+        env = Environment()
+        inj = _injector(env, self.FLAP)
+
+        def caller():
+            yield from inj.perturb_call("call")  # at t=0, before the flap
+
+        env.process(caller())
+        env.run()
+        assert env.now == 0.0
+        assert inj.downtime_s == 0.0 and inj.injected == 0
+
+    def test_two_flaps_accumulate_downtime(self):
+        env = Environment()
+        inj = _injector(
+            env, LinkFlap(start_s=0.0, down_s=1e-3),
+            LinkFlap(start_s=5e-3, down_s=3e-3),
+        )
+
+        def caller():
+            yield from inj.perturb_call("a")  # waits out flap 1
+            yield env.timeout(5e-3 - env.now + 1e-6)  # into flap 2
+            yield from inj.perturb_call("b")
+
+        env.process(caller())
+        env.run()
+        assert inj.downtime_s == pytest.approx(1e-3 + (3e-3 - 1e-6), rel=1e-9)
+        assert inj.injected == 2
+
+
+class TestLinkIntegration:
+    """The network link plays the same game at message granularity."""
+
+    def test_flap_delays_transmission(self):
+        from repro.network.link import Link, LinkSpec
+
+        env = Environment()
+        inj = _injector(env, LinkFlap(start_s=0.0, down_s=2e-3))
+        spec = LinkSpec()
+        link = Link(env, spec, faults=inj)
+
+        def sender():
+            yield link.transmit(1024)
+
+        env.process(sender())
+        env.run()
+        # Fault delays are grid-snapped; the link's own serialization
+        # and propagation delays are raw floats — accumulate in the
+        # same order the simulation does.
+        expected = quantize(2e-3)
+        expected += 1024 / spec.bandwidth_Bps
+        expected += spec.latency_s
+        assert env.now == expected
+        assert inj.downtime_s == quantize(2e-3)
+        assert link.messages_carried == 1
+
+    def test_message_timeout_propagates_to_transmit_waiter(self):
+        from repro.network.link import Link, LinkSpec
+
+        env = Environment()
+        inj = _injector(env, MessageLoss(rate=1.0, max_retries=1))
+        link = Link(env, LinkSpec(), faults=inj)
+        outcomes = {}
+
+        def sender():
+            try:
+                yield link.transmit(1024)
+            except FabricTimeoutError as exc:
+                outcomes["error"] = str(exc)
+
+        env.process(sender())
+        env.run()
+        assert "link-tx" in outcomes["error"]
+        assert link.messages_carried == 0  # the message never got through
+        assert inj.timeouts == 1
+
+    def test_spike_adds_latency_without_losing_messages(self):
+        from repro.network.link import Link, LinkSpec
+
+        env = Environment()
+        inj = _injector(
+            env, LatencySpike(start_s=0.0, duration_s=1e-2, extra_s=100e-6)
+        )
+        spec = LinkSpec()
+        link = Link(env, spec, faults=inj)
+
+        def sender():
+            yield link.transmit(1024)
+
+        env.process(sender())
+        env.run()
+        expected = quantize(100e-6)
+        expected += 1024 / spec.bandwidth_Bps
+        expected += spec.latency_s
+        assert env.now == expected
+        assert link.messages_carried == 1
+        assert inj.messages_lost == 0
+
+
+class TestDecisionStream:
+    def test_same_seed_same_stream(self):
+        env = Environment()
+        a = _injector(env, MessageLoss(rate=0.5), seed=42)
+        b = _injector(env, MessageLoss(rate=0.5), seed=42)
+        assert [a.draw() for _ in range(64)] == [b.draw() for _ in range(64)]
+
+    def test_different_seed_different_stream(self):
+        env = Environment()
+        a = _injector(env, MessageLoss(rate=0.5), seed=1)
+        b = _injector(env, MessageLoss(rate=0.5), seed=2)
+        assert [a.draw() for _ in range(16)] != [b.draw() for _ in range(16)]
+
+    def test_draws_are_uniform_unit_interval(self):
+        env = Environment()
+        inj = _injector(env, MessageLoss(rate=0.5), seed=7)
+        draws = [inj.draw() for _ in range(512)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.4 < sum(draws) / len(draws) < 0.6

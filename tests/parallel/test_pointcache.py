@@ -143,6 +143,71 @@ class TestCacheInvalidation:
         assert len(count_proxy_runs) > before
 
 
+class TestFaultPlanKeying:
+    """Degraded and healthy points must never alias in the cache."""
+
+    CONFIG = ProxyConfig(matrix_size=512, threads=1, iterations=5)
+
+    @staticmethod
+    def _plan(seed=42):
+        from repro.faults import FaultPlan
+
+        return FaultPlan.from_spec(f"seed={seed};loss:rate=1%")
+
+    def test_fault_plan_changes_key(self):
+        assert point_key(self.CONFIG, 1e-4, faults=self._plan()) != point_key(
+            self.CONFIG, 1e-4
+        )
+
+    def test_seed_alone_changes_key(self):
+        assert point_key(self.CONFIG, 1e-4, faults=self._plan(1)) != point_key(
+            self.CONFIG, 1e-4, faults=self._plan(2)
+        )
+
+    def test_empty_plan_shares_key_with_none(self):
+        from repro.faults import FaultPlan
+
+        assert point_key(
+            self.CONFIG, 1e-4, faults=FaultPlan(seed=7)
+        ) == point_key(self.CONFIG, 1e-4)
+
+    def test_cache_misses_when_only_fault_plan_differs(self, tmp_path):
+        cache = PointCache(tmp_path)
+        m = PointMeasurement(ok=True, loop_runtime_s=1.0)
+        cache.put(self.CONFIG, 1e-4, m)
+        assert cache.get(self.CONFIG, 1e-4) == m
+        assert cache.get(self.CONFIG, 1e-4, self._plan()) is None
+        degraded = PointMeasurement(ok=True, loop_runtime_s=2.0)
+        cache.put(self.CONFIG, 1e-4, degraded, self._plan())
+        assert cache.get(self.CONFIG, 1e-4, self._plan()) == degraded
+        assert cache.get(self.CONFIG, 1e-4) == m  # healthy entry intact
+
+    def test_degraded_sweep_does_not_reuse_healthy_points(
+        self, tmp_path, count_proxy_runs
+    ):
+        cache = PointCache(tmp_path)
+        grid = dict(
+            matrix_sizes=(512,), slack_values_s=(1e-4,), threads=(1,),
+            iterations=5,
+        )
+        run_slack_sweep(**grid, workers=1, cache=cache)
+        before = len(count_proxy_runs)
+
+        degraded = run_slack_sweep(
+            **grid, workers=1, cache=cache, faults=self._plan()
+        )
+        # Every degraded point re-measures: zero healthy entries reused.
+        assert degraded.timing.cached == 0
+        assert len(count_proxy_runs) - before == degraded.timing.measured > 0
+
+        # ... and the degraded run is itself warm on a second pass.
+        again = run_slack_sweep(
+            **grid, workers=1, cache=cache, faults=self._plan()
+        )
+        assert again.timing.measured == 0
+        assert again.points == degraded.points
+
+
 class TestCacheStore:
     CONFIG = ProxyConfig(matrix_size=512, threads=1, iterations=3)
 

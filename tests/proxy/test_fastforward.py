@@ -168,6 +168,58 @@ class TestRefusalGates:
         config = ProxyConfig(matrix_size=512, threads=2, iterations=40)
         assert refusal_reason(config, SlackModel(1e-5), 40) is None
 
+    def test_faults_active_refused(self):
+        # Fault windows make the run time-inhomogeneous: no epoch can
+        # stand in for the rest, so an active plan refuses outright.
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_spec("spike:start=0,duration=10ms,extra=100us")
+        config = ProxyConfig(matrix_size=512, threads=2, iterations=40)
+        result = run_proxy(config, SlackModel(1e-5), faults=plan)
+        assert not result.fastforward.certified
+        assert result.fastforward.reason == "faults-active"
+        assert result.fastforward.skipped_iterations == 0
+
+    def test_empty_plan_does_not_refuse(self):
+        from repro.faults import FaultPlan
+
+        config = ProxyConfig(matrix_size=512, threads=2, iterations=40)
+        result = run_proxy(config, SlackModel(1e-5), faults=FaultPlan(seed=9))
+        assert result.fastforward.certified
+        assert result.fastforward.reason is None
+
+    def test_refusal_reason_faults_first(self):
+        # The gate fires before any other eligibility check runs.
+        config = ProxyConfig(
+            matrix_size=512, threads=2, iterations=10, phase_barrier=True
+        )
+        assert (
+            refusal_reason(config, SlackModel(1e-5), 10, faults=object())
+            == "faults-active"
+        )
+
+    def test_degraded_sweep_records_fastforward_fallbacks(self):
+        # Every freshly measured point of a degraded sweep falls back
+        # to the full simulation — and the executor says so.
+        from repro.faults import FaultPlan
+        from repro.obs import collecting
+        from repro.proxy import run_slack_sweep
+
+        plan = FaultPlan.from_spec("spike:start=0,duration=10ms,extra=100us")
+        grid = dict(
+            matrix_sizes=(512,), slack_values_s=(1e-4,), threads=(1, 2),
+            iterations=20,
+        )
+        with collecting() as reg:
+            run_slack_sweep(**grid, workers=1, faults=plan)
+        # 2 configs x (baseline + 1 slack point) = 4 full simulations.
+        assert reg.counter("proxy.fastforward.fallbacks").value == 4
+        assert reg.counter("proxy.fastforward.hits").value == 0
+        with collecting() as reg:
+            run_slack_sweep(**grid, workers=1)
+        assert reg.counter("proxy.fastforward.hits").value == 4
+        assert reg.counter("proxy.fastforward.fallbacks").value == 0
+
     def test_never_settling_run_reports_no_fixed_point(self):
         # phase_barrier with threads=1 builds no barriers, so the gate
         # cannot be exercised that way; instead use a run short enough

@@ -200,6 +200,69 @@ class TestTraceAccountingProperties:
             )
 
 
+class TestFaultDeterminismProperties:
+    """Same seed => same bits, whatever the execution strategy.
+
+    The fault layer's contract is that a (config, slack, plan) triple
+    is bit-identical across repeated invocations, inline vs.
+    process-pool sweep workers, and every thread count — for *any*
+    seed, not just the ones the golden files happen to pin.
+    """
+
+    GRID = dict(
+        matrix_sizes=(512,),
+        slack_values_s=(1e-4,),
+        threads=(1, 2, 4, 8),
+        iterations=8,
+    )
+
+    @staticmethod
+    def _plan(seed):
+        from repro.faults import FaultPlan
+
+        return FaultPlan.from_spec(
+            f"seed={seed};loss:rate=5%;flap:start=2ms,down=1ms;"
+            "spike:start=0,duration=20ms,extra=50us"
+        )
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_inline_vs_process_pool_bit_identical(self, seed):
+        from repro.proxy import run_slack_sweep
+
+        plan = self._plan(seed)
+        inline = run_slack_sweep(**self.GRID, workers=1, faults=plan)
+        pooled = run_slack_sweep(**self.GRID, workers=4, faults=plan)
+        # SweepPoint is a frozen dataclass: == here is exact float
+        # equality on every field of every point, in order.
+        assert inline.points == pooled.points
+        assert inline.skipped == pooled.skipped
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_repeated_invocations_bit_identical(self, seed):
+        from repro.proxy import run_slack_sweep
+
+        plan = self._plan(seed)
+        first = run_slack_sweep(**self.GRID, workers=1, faults=plan)
+        second = run_slack_sweep(**self.GRID, workers=1, faults=plan)
+        assert first.points == second.points
+        assert first.skipped == second.skipped
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_empty_plan_reproduces_healthy_sweep(self, seed):
+        from repro.faults import FaultPlan
+        from repro.proxy import run_slack_sweep
+
+        grid = dict(self.GRID, threads=(1, 2))
+        healthy = run_slack_sweep(**grid, workers=1)
+        empty = run_slack_sweep(
+            **grid, workers=1, faults=FaultPlan(seed=seed)
+        )
+        assert healthy.points == empty.points
+
+
 class TestDeviceMemoryProxyInvariant:
     @settings(max_examples=30, deadline=None)
     @given(
