@@ -1,0 +1,197 @@
+"""Benchmark: the columnar trace store and vectorized model pipeline.
+
+Three legs, all asserting bit-exact parity with the retained scalar
+reference implementations before reporting a speedup:
+
+* **record** — event recording throughput, columnar ``Tracer`` path
+  vs. appending ``TraceEvent`` objects to the legacy scalar ``Trace``.
+* **analysis** — the Figure 4/5 trace-analysis functions (duration
+  profile, memcpy profile, gaps, utilization) on a real traced LAMMPS
+  profile, columnar vs. a scalar-``Trace`` copy of the same events.
+* **table4** — the full bin → Equation 3 → Equation 2 slack-grid
+  prediction for both applications, vectorized ``predict_sweep`` on
+  columnar traces vs. :func:`repro.model.reference.predict_sweep_reference`
+  on scalar copies. This is the PR's acceptance path and must show at
+  least a 5x speedup.
+
+Results land in ``BENCH_trace.json`` at the repo root, next to
+``BENCH_sweep.json`` (see docs/performance.md for methodology).
+"""
+
+import dataclasses
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.model import CDIProfiler
+from repro.model.reference import predict_sweep_reference
+from repro.proxy import PAPER_SLACK_VALUES_S
+from repro.trace import (
+    EventKind,
+    Trace,
+    TraceEvent,
+    Tracer,
+    device_gaps,
+    device_gaps_reference,
+    kernel_duration_profile,
+    memcpy_size_profile,
+    utilization_series,
+    utilization_series_reference,
+)
+from repro.des import Environment
+
+#: Where the perf artifact lands (repo root, next to BENCH_sweep.json).
+TRACE_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_trace.json"
+
+#: Minimum acceptable vectorized-vs-scalar speedup on the table4 path.
+TABLE4_SPEEDUP_FLOOR = 5.0
+
+#: Sections accumulated by the tests and flushed at module teardown.
+_SECTIONS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_artifact():
+    yield
+    if not _SECTIONS:
+        return
+    doc = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    doc.update(_SECTIONS)
+    TRACE_ARTIFACT.write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def _best_of(fn, repeats=3):
+    """Best wall time of ``repeats`` runs (and the last return value)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _scalar_copy(profile):
+    """The same profile with its trace as a legacy scalar ``Trace``."""
+    return dataclasses.replace(
+        profile, trace=Trace(list(profile.trace), name=profile.trace.name)
+    )
+
+
+def test_bench_record_throughput():
+    n = 50_000
+
+    def record_columnar():
+        tracer = Tracer(Environment(), name="bench")
+        for i in range(n):
+            tracer.record(
+                EventKind.KERNEL, "k%d" % (i % 7), i * 1e-6, i * 1e-6 + 5e-7,
+                stream=i % 4, thread=i % 8,
+            )
+        return tracer.trace
+
+    def record_scalar():
+        trace = Trace(name="bench")
+        for i in range(n):
+            trace.append(
+                TraceEvent(
+                    kind=EventKind.KERNEL, name="k%d" % (i % 7),
+                    start=i * 1e-6, end=i * 1e-6 + 5e-7,
+                    stream=i % 4, thread=i % 8,
+                )
+            )
+        return trace
+
+    col_s, columnar = _best_of(record_columnar)
+    sca_s, scalar = _best_of(record_scalar)
+    # The compatibility view must materialize the identical sequence.
+    assert list(columnar) == list(scalar)
+    _SECTIONS["record"] = {
+        "events": n,
+        "columnar_s": col_s,
+        "scalar_s": sca_s,
+        "columnar_events_per_sec": n / col_s,
+        "scalar_events_per_sec": n / sca_s,
+        "speedup": sca_s / col_s,
+        "store": columnar.store.stats(),
+    }
+
+
+def test_bench_trace_analysis(ctx):
+    profile = ctx.lammps_profile()
+    scalar = _scalar_copy(profile)
+    window = profile.runtime_s / 64
+
+    def analyze(trace):
+        return (
+            kernel_duration_profile(trace, title="bench"),
+            memcpy_size_profile(trace, title="bench"),
+            trace.kernels().busy_time(),
+            trace.memcpys().busy_time(),
+            device_gaps(trace),
+        )
+
+    col_s, col_res = _best_of(lambda: analyze(profile.trace))
+    sca_s, sca_res = _best_of(
+        lambda: (
+            kernel_duration_profile(scalar.trace, title="bench"),
+            memcpy_size_profile(scalar.trace, title="bench"),
+            scalar.trace.kernels().busy_time(),
+            scalar.trace.memcpys().busy_time(),
+            device_gaps_reference(scalar.trace),
+        )
+    )
+    assert col_res == sca_res
+    cu = utilization_series(profile.trace, window)
+    su = utilization_series_reference(scalar.trace, window)
+    assert (cu[0] == su[0]).all() and (cu[1] == su[1]).all()
+    _SECTIONS["analysis"] = {
+        "events": len(profile.trace),
+        "columnar_s": col_s,
+        "scalar_s": sca_s,
+        "speedup": sca_s / col_s,
+    }
+
+
+def test_bench_table4_pipeline(ctx):
+    profiler = CDIProfiler(ctx.surface())
+    profiles = ctx.profiles()
+    scalars = [_scalar_copy(p) for p in profiles]
+
+    vec_s, vec_out = _best_of(
+        lambda: [
+            profiler.predict_sweep(p, PAPER_SLACK_VALUES_S) for p in profiles
+        ]
+    )
+    ref_s, ref_out = _best_of(
+        lambda: [
+            predict_sweep_reference(profiler, p, PAPER_SLACK_VALUES_S)
+            for p in scalars
+        ]
+    )
+    # Bit-exact parity: every SlackPrediction field, every slack, both
+    # apps — the vectorized pipeline is a pure reimplementation.
+    for vec, ref in zip(vec_out, ref_out):
+        assert vec == ref
+    speedup = ref_s / vec_s
+    _SECTIONS["table4"] = {
+        "slack_values": len(PAPER_SLACK_VALUES_S),
+        "apps": [p.name for p in profiles],
+        "events": [len(p.trace) for p in profiles],
+        "vectorized_s": vec_s,
+        "scalar_reference_s": ref_s,
+        "speedup": speedup,
+        "speedup_floor": TABLE4_SPEEDUP_FLOOR,
+    }
+    assert speedup >= TABLE4_SPEEDUP_FLOOR, (
+        f"table4 pipeline speedup {speedup:.1f}x below the "
+        f"{TABLE4_SPEEDUP_FLOOR:.0f}x floor"
+    )

@@ -25,7 +25,8 @@ The surface groups into six layers:
 simulation core
     :class:`Environment` (the DES engine), :class:`CudaRuntime`,
     :class:`KernelSpec`, :func:`matmul_kernel`, :class:`Trace`,
-    :class:`Tracer`.
+    :class:`ColumnarTrace` (the append-only columnar store backing
+    every traced run — see ``docs/performance.md``), :class:`Tracer`.
 hardware & network models
     :class:`GPUSpec`, :class:`NodeSpec`, the ``A100_SXM4_40GB`` /
     ``EPYC_7413`` / ``NARVAL_NODE`` catalog entries,
@@ -53,8 +54,10 @@ fault injection
     :class:`DegradedSweepResult` — the ``faults=`` knob on
     :func:`run_proxy` / :func:`run_slack_sweep` /
     :class:`ExperimentContext` (see ``docs/faults.md``).
-parallel execution
-    :class:`SweepExecutor`, :class:`PointCache`.
+parallel execution & caching
+    :class:`SweepExecutor`, :class:`PointCache`,
+    :class:`AppProfileCache` (content-addressed traced-profile store,
+    see ``docs/performance.md``).
 experiments & observability
     :class:`ExperimentContext`, :func:`run_experiment`,
     :func:`run_all`, :class:`MetricsRegistry`, :class:`RunReport`,
@@ -66,6 +69,7 @@ from __future__ import annotations
 
 from . import __version__
 from .apps import (
+    AppProfileCache,
     CosmoFlowProfileConfig,
     LammpsProfileConfig,
     LammpsScalingModel,
@@ -125,7 +129,7 @@ from .proxy import (
     run_proxy,
     run_slack_sweep,
 )
-from .trace import Trace, Tracer
+from .trace import ColumnarTrace, Trace, Tracer
 
 __all__ = [
     "__version__",
@@ -135,6 +139,7 @@ __all__ = [
     "KernelSpec",
     "matmul_kernel",
     "Trace",
+    "ColumnarTrace",
     "Tracer",
     # hardware & network models
     "GPUSpec",
@@ -179,9 +184,10 @@ __all__ = [
     "FabricTimeoutError",
     "run_degraded_sweep",
     "DegradedSweepResult",
-    # parallel execution
+    # parallel execution & caching
     "SweepExecutor",
     "PointCache",
+    "AppProfileCache",
     # experiments & observability
     "ExperimentContext",
     "run_experiment",

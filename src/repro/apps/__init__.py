@@ -3,6 +3,7 @@
 
 from .base import AppProfile, ApplicationModel
 from .cpuonly import CpuOnlyApp, trapped_gpu_analysis
+from .profilecache import PROFILE_CACHE_VERSION, AppProfileCache, profile_key
 from .cosmoflow import (
     COSMOFLOW_REQUIRED_CORES,
     CosmoFlowNet,
@@ -21,6 +22,9 @@ from .lammps import (
 __all__ = [
     "AppProfile",
     "ApplicationModel",
+    "AppProfileCache",
+    "PROFILE_CACHE_VERSION",
+    "profile_key",
     "LJParams",
     "LammpsScalingModel",
     "LammpsProfileConfig",

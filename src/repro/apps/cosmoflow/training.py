@@ -27,7 +27,7 @@ from ...des import Environment, Event
 from ...gpusim import CudaRuntime, KernelSpec
 from ...hw import A100_SXM4_40GB, GPUSpec, MiB, PCIE_GEN4_X16, PCIeSpec
 from ...network import SlackModel
-from ...trace import CopyKind
+from ...trace import CopyKind, EventKind
 from ..base import AppProfile
 from .model import CosmoFlowNet
 
@@ -188,7 +188,7 @@ def profile_cosmoflow(
 
     runtime = float(main_proc.value)
     trace = rt.tracer.trace
-    api_calls = len(trace.filter(lambda e: e.kind.value == "api"))
+    api_calls = trace.count_kind(EventKind.API)
     # The paper's pessimistic parallelism: launches take ~1/7 of the
     # sequence, i.e. ~7 kernels deep; halved to 4 as the pessimistic
     # equivalent queue depth.

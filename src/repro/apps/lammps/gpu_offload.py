@@ -30,7 +30,7 @@ from ...des import Barrier, Environment, Event
 from ...gpusim import CudaRuntime, KernelSpec
 from ...hw import A100_SXM4_40GB, GPUSpec, PCIE_GEN4_X16, PCIeSpec
 from ...network import SlackModel
-from ...trace import CopyKind
+from ...trace import CopyKind, EventKind
 from ..base import AppProfile
 from .lj import LJParams
 from .scaling import LammpsScalingModel
@@ -149,7 +149,7 @@ def profile_lammps(
 
     runtime = float(main_proc.value) + LammpsScalingModel().setup_s
     trace = rt.tracer.trace
-    api_calls = len(trace.filter(lambda e: e.kind.value == "api"))
+    api_calls = trace.count_kind(EventKind.API)
     return AppProfile(
         name="lammps",
         trace=trace,

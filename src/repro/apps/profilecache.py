@@ -1,0 +1,176 @@
+"""Content-addressed store of traced application profiles.
+
+Sibling of :class:`repro.parallel.PointCache`: where the point cache
+keys proxy measurements on (ProxyConfig, slack), this keys a whole
+traced application run on its profiling configuration — every config
+dataclass field (nested hardware specs included, via
+``dataclasses.asdict``, so the seed, jitter, box size and GPU/PCIe
+specs all participate) plus a code version tag. The figure/table
+experiments re-run the same two app configs constantly; with the
+columnar trace store a profile serializes to one JSON document of
+columns that round-trips **bit-exactly** (floats via ``repr``), so a
+warm cache skips the DES run entirely and reproduces byte-identical
+figures.
+
+Lookup/write accounting is published through ``repro.obs`` under the
+``profilecache.*`` section. Unreadable or malformed entries count as
+misses and are re-profiled, exactly like the point cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..obs import get_registry
+from ..trace.store import ColumnarTrace
+from .base import AppProfile
+
+__all__ = ["PROFILE_CACHE_VERSION", "AppProfileCache", "profile_key"]
+
+#: Bump whenever app-model or simulator changes alter what a profiling
+#: run records — stale traces must not survive a behavioral change.
+PROFILE_CACHE_VERSION = "2026.08-5"
+
+
+def profile_key(
+    app: str, config: Any, version: str = PROFILE_CACHE_VERSION
+) -> str:
+    """Stable content hash identifying one profiling run.
+
+    ``config`` must be a (frozen) config dataclass; the key covers the
+    app name, every config field and the cache version tag. JSON with
+    sorted keys keeps the digest stable across processes; floats
+    round-trip exactly through ``repr`` so distinct configs never
+    collide.
+    """
+    payload = json.dumps(
+        {
+            "app": app,
+            "config": dataclasses.asdict(config),
+            "version": version,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _profile_doc(profile: AppProfile) -> dict:
+    trace = profile.trace
+    if not isinstance(trace, ColumnarTrace):
+        # Scalar traces (e.g. hand-built in tests) encode through a
+        # temporary columnar copy; materialization is bit-exact.
+        trace = ColumnarTrace(iter(trace), name=trace.name)
+    return {
+        "name": profile.name,
+        "runtime_s": profile.runtime_s,
+        "queue_parallelism": profile.queue_parallelism,
+        "cuda_calls_per_second": profile.cuda_calls_per_second,
+        "trace": trace.to_doc(),
+    }
+
+
+def _profile_from_doc(doc: dict) -> AppProfile:
+    return AppProfile(
+        name=str(doc["name"]),
+        trace=ColumnarTrace.from_doc(doc["trace"]),
+        runtime_s=float(doc["runtime_s"]),
+        queue_parallelism=int(doc["queue_parallelism"]),
+        cuda_calls_per_second=float(doc["cuda_calls_per_second"]),
+    )
+
+
+class AppProfileCache:
+    """Directory-backed store of :class:`AppProfile` by content key."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        version: str = PROFILE_CACHE_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.version = version
+        #: Lifetime lookup accounting for this cache object. ``corrupt``
+        #: counts entries that existed on disk but failed to parse
+        #: (counted as misses too — the app gets re-profiled).
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 before any get)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def path_for(self, app: str, config: Any) -> Path:
+        """On-disk location of one profile's entry."""
+        key = profile_key(app, config, self.version)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, app: str, config: Any) -> Optional[AppProfile]:
+        """Cached profile for a config, or ``None`` on a miss."""
+        path = self.path_for(app, config)
+        reg = get_registry()
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            reg.counter("profilecache.misses").inc()
+            return None
+        try:
+            profile = _profile_from_doc(json.loads(text))
+        except (ValueError, KeyError, TypeError, IndexError):
+            # Torn/stale entry: treat as a miss and re-profile.
+            self.corrupt += 1
+            self.misses += 1
+            reg.counter("profilecache.invalidated").inc()
+            reg.counter("profilecache.misses").inc()
+            return None
+        self.hits += 1
+        reg.counter("profilecache.hits").inc()
+        return profile
+
+    def put(self, app: str, config: Any, profile: AppProfile) -> Path:
+        """Store one profile; returns the entry's path.
+
+        Writes via a temporary file + rename so an interrupted run
+        never leaves a torn entry behind.
+        """
+        path = self.path_for(app, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(_profile_doc(profile)))
+        tmp.replace(path)
+        self.writes += 1
+        get_registry().counter("profilecache.writes").inc()
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently stored."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        for sub in self.root.glob("*"):
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed

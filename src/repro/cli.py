@@ -335,6 +335,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"{profile.name}: {len(kernels)} kernels, {len(copies)} memcpys, "
           f"runtime {profile.runtime_s:.1f} s, "
           f"queue parallelism {profile.queue_parallelism}")
+    store = getattr(profile.trace, "store", None)
+    if store is not None:
+        stats = store.stats()
+        print(f"columnar store: {int(stats['events'])} events in "
+              f"{int(stats['bytes'])} bytes "
+              f"({int(stats['interned_names'])} interned names, "
+              f"{int(stats['growths'])} growths)")
 
     if args.trace_out:
         to_json(profile.trace, args.trace_out)
@@ -342,12 +349,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     profiler = CDIProfiler(ctx.surface())
     slacks = args.slacks or list(PAPER_SLACK_VALUES_S)
-    print(f"{'slack [us]':>12}  {'lower [%]':>10}  {'upper [%]':>10}")
-    for slack in sorted(slacks):
+    for slack in slacks:
         if slack < 0:
             print("slack must be non-negative", file=sys.stderr)
             return 2
-        p = profiler.predict(profile, slack)
+    # One vectorized pass over the whole slack grid (bit-identical to
+    # per-slack predict calls, see repro.model.reference).
+    predictions = profiler.predict_sweep(profile, sorted(slacks))
+    print(f"{'slack [us]':>12}  {'lower [%]':>10}  {'upper [%]':>10}")
+    for slack, p in predictions.items():
         print(f"{slack * 1e6:12.1f}  {p.lower_percent:10.4f}  "
               f"{p.upper_percent:10.4f}")
     return 0

@@ -32,7 +32,9 @@ from ..apps import (
 )
 from ..apps.base import AppProfile
 from ..apps.lammps import LJParams
+from ..apps.profilecache import AppProfileCache
 from ..faults import FaultPlan
+from ..obs import publish_trace_store
 from ..parallel import PointCache
 from ..proxy import (
     PAPER_MATRIX_SIZES,
@@ -202,19 +204,40 @@ class ExperimentContext:
             )
         return CosmoFlowProfileConfig()
 
+    def profile_cache(self) -> Optional[AppProfileCache]:
+        """The traced-profile store (None when caching is disabled).
+
+        Sibling of :meth:`point_cache`: profiles are content-addressed
+        on the full profiling config (seed included), so a warm cache
+        skips the application DES run and reproduces the figures
+        byte-identically (the columnar trace document round-trips
+        exactly).
+        """
+        if not self.cache:
+            return None
+        return AppProfileCache(self._cache_base() / "profiles")
+
+    def _profile(self, app: str, config, builder) -> AppProfile:
+        if app not in self._profiles:
+            cache = self.profile_cache()
+            profile = cache.get(app, config) if cache is not None else None
+            if profile is None:
+                profile = builder(config)
+                if cache is not None:
+                    cache.put(app, config, profile)
+            publish_trace_store(profile.trace)
+            self._profiles[app] = profile
+        return self._profiles[app]
+
     def lammps_profile(self) -> AppProfile:
-        """Traced LAMMPS profile (memoized)."""
-        if "lammps" not in self._profiles:
-            self._profiles["lammps"] = profile_lammps(self.lammps_config())
-        return self._profiles["lammps"]
+        """Traced LAMMPS profile (memoized + disk-cached)."""
+        return self._profile("lammps", self.lammps_config(), profile_lammps)
 
     def cosmoflow_profile(self) -> AppProfile:
-        """Traced CosmoFlow profile (memoized)."""
-        if "cosmoflow" not in self._profiles:
-            self._profiles["cosmoflow"] = profile_cosmoflow(
-                self.cosmoflow_config()
-            )
-        return self._profiles["cosmoflow"]
+        """Traced CosmoFlow profile (memoized + disk-cached)."""
+        return self._profile(
+            "cosmoflow", self.cosmoflow_config(), profile_cosmoflow
+        )
 
     def profiles(self) -> Tuple[AppProfile, AppProfile]:
         """Both application profiles."""

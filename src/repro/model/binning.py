@@ -91,7 +91,16 @@ def bin_values(
     both assignments; observations within ``rel_tol`` (relative) of a
     grid mark snap to it exactly, so floating-point noise cannot flip
     an on-grid value into the adjacent (much more slack-sensitive)
-    bracket.
+    bracket. Snap candidates are probed lower-mark-first.
+
+    Grid marks are sorted by matrix size exactly once and must be
+    strictly increasing in size; a non-monotonic grid (where rounding
+    "up" in size could round *down* in metric) raises ``ValueError``.
+
+    Vectorized: the whole bracketing — searchsorted round-up, snap
+    masks, end clamps, bin counts — runs as column operations with no
+    per-value loop, bit-identical to
+    :func:`repro.model.reference.bin_values_reference`.
     """
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
@@ -104,29 +113,27 @@ def bin_values(
     marks = np.array([grid_value_per_size[n] for n in sizes])
     if np.any(np.diff(marks) <= 0):
         raise ValueError("grid metric must be strictly increasing")
+    last = len(sizes) - 1
 
-    lower_counts = {n: 0 for n in sizes}
-    upper_counts = {n: 0 for n in sizes}
-    # Index of the first grid mark >= value (round up).
-    up_idx = np.searchsorted(marks, arr, side="left")
-    for v, iu in zip(arr, up_idx):
-        i_up = min(int(iu), len(sizes) - 1)
-        snapped = None
-        for candidate in {max(0, i_up - 1), i_up}:
-            if abs(v - marks[candidate]) <= rel_tol * marks[candidate]:
-                snapped = candidate
-                break
-        if snapped is not None:
-            i_up = i_down = snapped
-        elif v >= marks[-1]:
-            i_down = len(sizes) - 1
-        elif v <= marks[0]:
-            i_down = 0
-        else:
-            i_down = i_up - 1
-        # Rounded up -> larger matrix -> lower penalty assignment.
-        lower_counts[sizes[i_up]] += 1
-        upper_counts[sizes[i_down]] += 1
+    # Index of the first grid mark >= value (round up), clamped.
+    i_up = np.minimum(np.searchsorted(marks, arr, side="left"), last)
+    lo_cand = np.maximum(i_up - 1, 0)
+    # Snap-to-mark masks, lower candidate taking precedence.
+    snap_lo = np.abs(arr - marks[lo_cand]) <= rel_tol * marks[lo_cand]
+    snap_hi = np.abs(arr - marks[i_up]) <= rel_tol * marks[i_up]
+    # Rounded-down index: clamp off-grid ends, else one below i_up.
+    i_down = np.where(
+        arr >= marks[-1], last, np.where(arr <= marks[0], 0, i_up - 1)
+    )
+    i_down = np.where(snap_lo, lo_cand, np.where(snap_hi, i_up, i_down))
+    i_up = np.where(snap_lo, lo_cand, i_up)
+
+    # Rounded up -> larger matrix -> lower penalty assignment.
+    n_bins = len(sizes)
+    lower_binned = np.bincount(i_up, minlength=n_bins)
+    upper_binned = np.bincount(i_down, minlength=n_bins)
+    lower_counts = {n: int(c) for n, c in zip(sizes, lower_binned)}
+    upper_counts = {n: int(c) for n, c in zip(sizes, upper_binned)}
     return BinnedDistribution(
         lower_counts=lower_counts,
         upper_counts=upper_counts,

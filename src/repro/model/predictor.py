@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
+import numpy as np
+
 from ..apps.base import AppProfile
 from ..proxy import SlackResponseSurface, calibrate_matrix_size
 from .binning import BinnedDistribution, bin_kernel_durations, bin_transfer_sizes
@@ -168,7 +170,101 @@ class CDIProfiler:
         slack_values_s: Sequence[float],
         parallelism: Optional[int] = None,
     ) -> Dict[float, SlackPrediction]:
-        """Predictions at several slack values (Table IV rows)."""
-        return {
-            s: self.predict(profile, s, parallelism) for s in slack_values_s
+        """Predictions at several slack values (Table IV rows).
+
+        Vectorized over the slack grid: the profile is binned **once**
+        and Equation 3 is evaluated as a count-weighted sum of
+        per-size penalty rows across all slack values simultaneously.
+        The accumulation walks bins in the same (ascending-size,
+        zero-skipping) order as :func:`equation3_binned_slack_penalty`,
+        so every prediction is bit-identical to a standalone
+        :meth:`predict` call at that slack (see
+        :func:`repro.model.reference.predict_sweep_reference`).
+        """
+        slacks = list(slack_values_s)
+        for s in slacks:
+            if s < 0:
+                raise ValueError("slack_s must be non-negative")
+        if not slacks:
+            return {}
+        par = (
+            parallelism if parallelism is not None else profile.queue_parallelism
+        )
+        bins = self.bin_profile(profile)
+
+        # Penalty matrix: one row per grid size, one column per slack.
+        pen_rows = {
+            n: np.asarray(
+                [self.surface.penalty(n, s, threads=par) for s in slacks],
+                dtype=float,
+            )
+            for n in self.surface.matrix_sizes()
         }
+        sp = {
+            (category, bound): _equation3_rows(
+                getattr(bins[category], f"{bound}_counts"),
+                pen_rows,
+                len(slacks),
+            )
+            for category in ("kernel", "memory")
+            for bound in ("lower", "upper")
+        }
+
+        frac_kernel = profile.trace.kernels().runtime_fraction(profile.runtime_s)
+        frac_memory = profile.trace.memcpys().runtime_fraction(profile.runtime_s)
+        total_frac = frac_kernel + frac_memory
+        if total_frac > 1.0:
+            frac_kernel /= total_frac
+            frac_memory /= total_frac
+
+        out: Dict[float, SlackPrediction] = {}
+        for i, s in enumerate(slacks):
+            sp_kernel_lower = float(sp[("kernel", "lower")][i])
+            sp_kernel_upper = float(sp[("kernel", "upper")][i])
+            sp_memory_lower = float(sp[("memory", "lower")][i])
+            sp_memory_upper = float(sp[("memory", "upper")][i])
+            out[s] = SlackPrediction(
+                app=profile.name,
+                slack_s=s,
+                parallelism=par,
+                lower=equation2_total_slack_penalty(
+                    frac_kernel, sp_kernel_lower, frac_memory, sp_memory_lower
+                ),
+                upper=equation2_total_slack_penalty(
+                    frac_kernel, sp_kernel_upper, frac_memory, sp_memory_upper
+                ),
+                sp_kernel_lower=sp_kernel_lower,
+                sp_kernel_upper=sp_kernel_upper,
+                sp_memory_lower=sp_memory_lower,
+                sp_memory_upper=sp_memory_upper,
+                runtime_fraction_kernel=frac_kernel,
+                runtime_fraction_memory=frac_memory,
+            )
+        return out
+
+
+def _equation3_rows(
+    element_counts: Mapping[int, float],
+    penalty_rows: Mapping[int, np.ndarray],
+    n_slacks: int,
+) -> np.ndarray:
+    """Equation 3 across a whole slack grid at once.
+
+    Accumulates ``count * penalty_row`` in the mapping's iteration
+    order, skipping zero counts — elementwise the exact operation
+    sequence :func:`equation3_binned_slack_penalty` performs per
+    slack, so each column matches the scalar result bit for bit.
+    """
+    total = float(sum(element_counts.values()))
+    if total <= 0:
+        raise ValueError("element_counts is empty")
+    acc = np.zeros(n_slacks)
+    for size, count in element_counts.items():
+        if count < 0:
+            raise ValueError(f"negative count for size {size}")
+        if count == 0:
+            continue
+        if size not in penalty_rows:
+            raise KeyError(f"no penalty available for matrix size {size}")
+        acc = acc + penalty_rows[size] * count
+    return acc / total

@@ -43,6 +43,7 @@ from .publish import (
     publish_link,
     publish_nic,
     publish_snapshot,
+    publish_trace_store,
     simulation_snapshot,
 )
 from .report import RUN_REPORT_SCHEMA_VERSION, RunReport
@@ -64,6 +65,7 @@ __all__ = [
     "publish_executor",
     "publish_link",
     "publish_nic",
+    "publish_trace_store",
     "RunReport",
     "RUN_REPORT_SCHEMA_VERSION",
 ]

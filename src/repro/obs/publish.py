@@ -41,6 +41,7 @@ __all__ = [
     "publish_executor",
     "publish_link",
     "publish_nic",
+    "publish_trace_store",
 ]
 
 #: Snapshot keys that are *per-run observations* (distributions across
@@ -138,6 +139,33 @@ def publish_executor(
         reg.histogram("executor.worker_utilization").observe(
             min(1.0, stats.point_seconds / (stats.wall_s * stats.workers))
         )
+
+
+def publish_trace_store(
+    trace: Any, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Publish one columnar trace's storage accounting.
+
+    Counters under ``trace.store.*`` accumulate events recorded,
+    column bytes and geometric growths across every trace published in
+    the run; ``trace.store.peak_bytes`` is a high-water gauge (the
+    largest single columnar footprint seen), the one-shot memory
+    number ``repro metrics`` surfaces. Traces without a column store
+    (plain scalar :class:`~repro.trace.Trace`) publish nothing.
+    """
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    store = getattr(trace, "store", None)
+    if store is None:
+        return
+    stats = store.stats()
+    reg.counter("trace.store.events").inc(stats["events"])
+    reg.counter("trace.store.bytes").inc(stats["bytes"])
+    reg.counter("trace.store.growths").inc(stats["growths"])
+    reg.counter("trace.store.interned_names").inc(stats["interned_names"])
+    peak = reg.gauge("trace.store.peak_bytes")
+    peak.set(max(peak.value, stats["bytes"]))
 
 
 def publish_link(

@@ -55,12 +55,16 @@ class ExecutorStats:
         return self.tasks / self.wall_s if self.wall_s > 0 else float("inf")
 
     @property
-    def speedup_vs_sequential(self) -> float:
-        """Summed per-point time over wall time (1.0 when sequential).
+    def speedup_vs_sequential(self) -> Optional[float]:
+        """Summed per-point time over wall time (``None`` when the run
+        was sequential — comparing the inline path against itself
+        would report meaningless dispatch overhead as a slowdown).
 
         Only fresh measurements count: a fully cached run reports 0
         point-seconds, not an artificial speedup.
         """
+        if self.workers <= 1:
+            return None
         return self.point_seconds / self.wall_s if self.wall_s > 0 else 0.0
 
 

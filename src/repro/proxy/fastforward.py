@@ -258,7 +258,7 @@ class EpochMonitor:
             # without consuming it (same trick as metrics_snapshot).
             env._eid.__reduce__()[1][0],
             len(env._cb_pool),
-            len(rt.tracer.trace._events),
+            len(rt.tracer.trace),
             rt.tracer._correlation.__reduce__()[1][0],
             rt.api_calls,
             rt.kernel_launches,
@@ -394,7 +394,7 @@ class EpochMonitor:
 
         window_start, window_end = self._window
         trace = RepeatedEpochTrace(
-            rt.tracer.trace._events,
+            rt.tracer.trace.events_in_record_order(),
             window_start=window_start,
             window_end=window_end,
             period_s=period,

@@ -134,11 +134,20 @@ class SweepTiming:
         return self.grid_points / self.wall_s if self.wall_s > 0 else float("inf")
 
     @property
-    def speedup_vs_sequential(self) -> float:
-        """Summed per-point time over wall time (~1.0 when sequential)."""
+    def speedup_vs_sequential(self) -> Optional[float]:
+        """Summed per-point time over wall time, or ``None`` when
+        the run *was* sequential.
+
+        With one worker the "parallel" leg is the inline path measured
+        against itself — the ratio would read as a misleading ~0.95×
+        "slowdown" that is really just dispatch overhead, so single
+        worker runs report ``None`` (JSON ``null``) instead.
+        """
+        if self.workers <= 1:
+            return None
         return self.point_seconds / self.wall_s if self.wall_s > 0 else 0.0
 
-    def to_doc(self) -> Dict[str, float]:
+    def to_doc(self) -> Dict[str, Optional[float]]:
         """Plain-dict form for perf artifacts (BENCH_sweep.json)."""
         return {
             "wall_s": self.wall_s,

@@ -19,11 +19,20 @@ from .container import Trace
 from .epochs import RepeatedEpochTrace
 from .events import CopyKind, EventKind, TraceEvent
 from .export import from_csv, from_json, to_csv, to_json
-from .timeline import GapAnalysis, device_gaps, utilization_series
+from .store import ColumnarTrace, ColumnStore
+from .timeline import (
+    GapAnalysis,
+    device_gaps,
+    device_gaps_reference,
+    utilization_series,
+    utilization_series_reference,
+)
 from .tracer import NullTracer, Tracer
 
 __all__ = [
     "Trace",
+    "ColumnarTrace",
+    "ColumnStore",
     "RepeatedEpochTrace",
     "TraceEvent",
     "EventKind",
@@ -42,7 +51,9 @@ __all__ = [
     "from_csv",
     "GapAnalysis",
     "device_gaps",
+    "device_gaps_reference",
     "utilization_series",
+    "utilization_series_reference",
     "KernelDelta",
     "TraceComparison",
     "compare_traces",

@@ -125,9 +125,9 @@ def kernel_duration_profile(
     if len(kernels) == 0:
         raise ValueError("trace contains no kernel events")
     profile = DistributionProfile(title=title or f"{trace.name} kernel durations")
+    groups = kernels.by_name()
     for name in kernels.top_names_by_total_time(top_n):
-        sub = kernels.by_name()[name]
-        profile.violins.append(summarize(sub.durations(), label=name))
+        profile.violins.append(summarize(groups[name].durations(), label=name))
     profile.violins.append(summarize(kernels.durations(), label="Total"))
     return profile
 

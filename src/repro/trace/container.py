@@ -65,6 +65,14 @@ class Trace:
         self._ensure_sorted()
         return Trace((e for e in self._events if predicate(e)), name=self.name)
 
+    def of_kinds(self, *kinds: EventKind) -> "Trace":
+        """Only events whose kind is one of ``kinds``."""
+        return self.filter(lambda e: e.kind in kinds)
+
+    def count_kind(self, kind: EventKind) -> int:
+        """Number of events of ``kind`` (no sorting required)."""
+        return sum(1 for e in self._events if e.kind is kind)
+
     def kernels(self) -> "Trace":
         """Only kernel-execution events."""
         return self.filter(lambda e: e.kind is EventKind.KERNEL)
@@ -88,6 +96,15 @@ class Trace:
         """Distinct issuing host threads."""
         return sorted({e.thread for e in self._events})
 
+    def events_in_record_order(self) -> List[TraceEvent]:
+        """The events in their current internal (append) order.
+
+        Analysis sorts by time; replay-style consumers (the
+        fast-forward extrapolator) need the order events were recorded
+        in, because stable-sort tie order downstream depends on it.
+        """
+        return list(self._events)
+
     # -- scalar summaries ----------------------------------------------------------
     @property
     def start(self) -> float:
@@ -107,6 +124,16 @@ class Trace:
     def span(self) -> float:
         """Wall-clock extent covered by the trace."""
         return self.end - self.start
+
+    def starts(self) -> np.ndarray:
+        """Array of event start times, in trace order."""
+        self._ensure_sorted()
+        return np.asarray([e.start for e in self._events], dtype=float)
+
+    def ends(self) -> np.ndarray:
+        """Array of event end times, in trace order."""
+        self._ensure_sorted()
+        return np.asarray([e.end for e in self._events], dtype=float)
 
     def durations(self) -> np.ndarray:
         """Array of event durations, in trace order."""

@@ -17,7 +17,13 @@ import numpy as np
 from .container import Trace
 from .events import EventKind
 
-__all__ = ["GapAnalysis", "device_gaps", "utilization_series"]
+__all__ = [
+    "GapAnalysis",
+    "device_gaps",
+    "device_gaps_reference",
+    "utilization_series",
+    "utilization_series_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -65,7 +71,34 @@ def device_gaps(trace: Trace, min_gap_s: float = 0.0) -> GapAnalysis:
 
     Device activity = kernel executions plus memcpys. Gaps shorter
     than ``min_gap_s`` are ignored (sub-resolution turnaround).
+
+    Vectorized: in the sorted interval-merge, the running ``cur_end``
+    equals the running maximum of the end times, so merged-run breaks
+    fall exactly where ``start[i] > max(end[:i])``. Gap values and the
+    per-run busy parts are computed as column operations; the busy sum
+    is accumulated in run order, bit-identical to the scalar reference
+    (:func:`device_gaps_reference`).
     """
+    if min_gap_s < 0:
+        raise ValueError("min_gap_s must be non-negative")
+    device = trace.of_kinds(EventKind.KERNEL, EventKind.MEMCPY)
+    if len(device) == 0:
+        raise ValueError("trace has no device activity")
+    starts = device.starts()
+    runmax = np.maximum.accumulate(device.ends())
+    break_at = np.flatnonzero(starts[1:] > runmax[:-1]) + 1
+    gap_vals = starts[break_at] - runmax[break_at - 1]
+    gaps = tuple(float(g) for g in gap_vals[gap_vals > min_gap_s])
+    firsts = np.concatenate(([0], break_at))
+    lasts = np.concatenate((break_at - 1, [starts.size - 1]))
+    busy = 0.0
+    for part in (runmax[lasts] - starts[firsts]).tolist():
+        busy += part
+    return GapAnalysis(gaps=gaps, busy_time=busy, span=device.span)
+
+
+def device_gaps_reference(trace: Trace, min_gap_s: float = 0.0) -> GapAnalysis:
+    """Scalar reference for :func:`device_gaps` (parity tests/bench)."""
     if min_gap_s < 0:
         raise ValueError("min_gap_s must be non-negative")
     device = trace.filter(
@@ -96,7 +129,56 @@ def utilization_series(
 
     Returns ``(window_centres, busy_fraction)``. ``kind`` restricts to
     one activity type (e.g. only kernels).
+
+    Vectorized: each event's window overlaps are expanded into one
+    flat (event, window) contribution array and accumulated with
+    ``np.add.at`` (unbuffered, applied in array order), so every float
+    lands in ``busy`` through the same operations in the same order as
+    the scalar reference (:func:`utilization_series_reference`).
     """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if kind is None:
+        selected = trace.of_kinds(EventKind.KERNEL, EventKind.MEMCPY)
+    else:
+        selected = trace.of_kinds(kind)
+    if len(selected) == 0:
+        raise ValueError("no matching activity in trace")
+    start, end = selected.start, selected.end
+    n_windows = max(1, int(np.ceil((end - start) / window_s)))
+    ev_start = selected.starts()
+    ev_end = selected.ends()
+    first = ((ev_start - start) / window_s).astype(np.int64)
+    last = np.minimum(
+        (ev_end - start) / window_s, float(n_windows - 1)
+    ).astype(np.int64)
+    counts = np.maximum(last - first + 1, 0)
+    total = int(counts.sum())
+    busy = np.zeros(n_windows)
+    if total:
+        # Flat (event, window) expansion: for each event, the window
+        # indices first..last, concatenated in event order — the exact
+        # visit order of the scalar nested loop.
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        w = np.repeat(first, counts) + offsets
+        w_start = start + w * window_s
+        w_end = w_start + window_s
+        contrib = np.maximum(
+            0.0,
+            np.minimum(np.repeat(ev_end, counts), w_end)
+            - np.maximum(np.repeat(ev_start, counts), w_start),
+        )
+        np.add.at(busy, w, contrib)
+    centres = start + (np.arange(n_windows) + 0.5) * window_s
+    return centres, np.minimum(1.0, busy / window_s)
+
+
+def utilization_series_reference(
+    trace: Trace, window_s: float, kind: Optional[EventKind] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scalar reference for :func:`utilization_series` (parity tests)."""
     if window_s <= 0:
         raise ValueError("window_s must be positive")
     selected = trace.filter(

@@ -12,8 +12,8 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
 from ..des import Environment
-from .container import Trace
 from .events import CopyKind, EventKind, TraceEvent
+from .store import ColumnarTrace
 
 __all__ = ["Tracer", "NullTracer"]
 
@@ -24,11 +24,16 @@ class Tracer:
     The runtime calls :meth:`record` (or the :meth:`interval` context
     manager) as activity completes. ``enabled`` can be toggled to
     bracket the traced region, mirroring profiler capture windows.
+
+    Events land in an append-only :class:`ColumnarTrace`: recording
+    writes numpy columns directly (no ``TraceEvent`` allocation), and
+    the dataclass view is materialized lazily only where analysis
+    still iterates events.
     """
 
     def __init__(self, env: Environment, name: str = "") -> None:
         self.env = env
-        self.trace = Trace(name=name)
+        self.trace = ColumnarTrace(name=name)
         self.enabled = True
         self._correlation = itertools.count(1)
 
@@ -50,23 +55,27 @@ class Tracer:
         thread: int = 0,
         meta: Optional[Dict[str, Any]] = None,
     ) -> Optional[TraceEvent]:
-        """Append a completed interval to the trace (if enabled)."""
+        """Append a completed interval to the trace (if enabled).
+
+        Validation matches :class:`TraceEvent` construction; the event
+        itself is only materialized on demand, so the return value is
+        always ``None``.
+        """
         if not self.enabled:
             return None
-        event = TraceEvent(
-            kind=kind,
-            name=name,
-            start=start,
-            end=end,
+        self.trace.record_fast(
+            kind,
+            name,
+            start,
+            end,
             stream=stream,
             nbytes=nbytes,
             copy_kind=copy_kind,
             correlation_id=correlation_id,
             thread=thread,
-            meta=meta or {},
+            meta=meta,
         )
-        self.trace.append(event)
-        return event
+        return None
 
     @contextmanager
     def interval(

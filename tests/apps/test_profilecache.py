@@ -1,0 +1,144 @@
+"""The content-addressed application-profile cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps import (
+    PROFILE_CACHE_VERSION,
+    AppProfileCache,
+    AppProfile,
+    profile_key,
+)
+from repro.apps.lammps import LammpsProfileConfig
+from repro.obs import collecting
+from repro.trace import ColumnarTrace, CopyKind, EventKind, Trace, TraceEvent
+
+
+def small_profile(name="app"):
+    trace = ColumnarTrace(name=name)
+    trace.record_fast(EventKind.KERNEL, "pair", 0.0, 1.5e-3, stream=0,
+                      meta={"n": 3})
+    trace.record_fast(EventKind.MEMCPY, "up", 2e-3, 2.5e-3, stream=1,
+                      nbytes=4096, copy_kind=CopyKind.H2D)
+    trace.record_fast(EventKind.API, "cudaLaunchKernel", 0.0, 5e-6, thread=2)
+    return AppProfile(
+        name=name,
+        trace=trace,
+        runtime_s=0.25,
+        queue_parallelism=2,
+        cuda_calls_per_second=1234.5,
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AppProfileCache(tmp_path / "profiles")
+
+
+class TestKeying:
+    def test_key_is_stable(self):
+        cfg = LammpsProfileConfig()
+        assert profile_key("lammps", cfg) == profile_key("lammps", cfg)
+
+    def test_key_covers_every_config_field(self):
+        base = LammpsProfileConfig()
+        k0 = profile_key("lammps", base)
+        for change in (
+            {"seed": 2025},
+            {"jitter": 0.11},
+            {"processes": 4},
+            {"neighbor_every": 13},
+        ):
+            assert profile_key(
+                "lammps", dataclasses.replace(base, **change)
+            ) != k0
+
+    def test_key_covers_app_name_and_version(self):
+        cfg = LammpsProfileConfig()
+        assert profile_key("lammps", cfg) != profile_key("cosmoflow", cfg)
+        assert profile_key("lammps", cfg) != profile_key(
+            "lammps", cfg, version="other"
+        )
+        assert PROFILE_CACHE_VERSION in ("2026.08-5",) or PROFILE_CACHE_VERSION
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_bit_exact(self, cache):
+        cfg = LammpsProfileConfig()
+        assert cache.get("lammps", cfg) is None
+        original = small_profile()
+        path = cache.put("lammps", cfg, original)
+        assert path.exists()
+        loaded = cache.get("lammps", cfg)
+        assert loaded is not None
+        assert loaded.name == original.name
+        assert loaded.runtime_s == original.runtime_s
+        assert loaded.queue_parallelism == original.queue_parallelism
+        assert loaded.cuda_calls_per_second == original.cuda_calls_per_second
+        # The trace round-trips bit for bit, in record order too.
+        assert list(loaded.trace) == list(original.trace)
+        assert (
+            loaded.trace.events_in_record_order()
+            == original.trace.events_in_record_order()
+        )
+        assert cache.hits == 1 and cache.misses == 1 and cache.writes == 1
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_scalar_trace_profiles_encode_too(self, cache):
+        cfg = LammpsProfileConfig()
+        events = [
+            TraceEvent(EventKind.KERNEL, "k", 0.0, 1e-3),
+            TraceEvent(EventKind.MEMCPY, "m", 2e-3, 3e-3, nbytes=64,
+                       copy_kind=CopyKind.D2H),
+        ]
+        profile = dataclasses.replace(
+            small_profile(), trace=Trace(events, name="scalar")
+        )
+        cache.put("lammps", cfg, profile)
+        loaded = cache.get("lammps", cfg)
+        assert list(loaded.trace) == events
+        assert isinstance(loaded.trace, ColumnarTrace)
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cfg = LammpsProfileConfig()
+        cache.put("lammps", cfg, small_profile())
+        cache.path_for("lammps", cfg).write_text("{not json")
+        assert cache.get("lammps", cfg) is None
+        assert cache.corrupt == 1 and cache.misses == 1
+
+    def test_truncated_doc_is_a_miss(self, cache):
+        cfg = LammpsProfileConfig()
+        cache.put("lammps", cfg, small_profile())
+        path = cache.path_for("lammps", cfg)
+        doc = json.loads(path.read_text())
+        del doc["trace"]
+        path.write_text(json.dumps(doc))
+        assert cache.get("lammps", cfg) is None
+        assert cache.corrupt == 1
+
+    def test_clear_and_len(self, cache):
+        cfg = LammpsProfileConfig()
+        cache.put("lammps", cfg, small_profile())
+        cache.put("cosmoflow", cfg, small_profile("cf"))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get("lammps", cfg) is None
+
+
+class TestMetrics:
+    def test_lookup_accounting_published(self, cache):
+        cfg = LammpsProfileConfig()
+        with collecting() as reg:
+            cache.get("lammps", cfg)  # miss
+            cache.put("lammps", cfg, small_profile())
+            cache.get("lammps", cfg)  # hit
+            cache.path_for("lammps", cfg).write_text("junk")
+            cache.get("lammps", cfg)  # corrupt -> invalidated + miss
+            assert reg.counter("profilecache.misses").value == 2
+            assert reg.counter("profilecache.hits").value == 1
+            assert reg.counter("profilecache.writes").value == 1
+            assert reg.counter("profilecache.invalidated").value == 1

@@ -140,6 +140,53 @@ class TestCDIProfiler:
         assert bins["memory"].total == 1
 
 
+class TestPredictSweepReferenceParity:
+    """Vectorized slack-grid sweep vs. the scalar per-slack loop.
+
+    ``predict_sweep`` computes Equation 3 once as a weighted matrix
+    product over the whole slack grid; it must reproduce a plain
+    ``{s: predict(profile, s)}`` loop bit for bit, on arbitrary
+    random profiles.
+    """
+
+    @pytest.fixture
+    def profiler(self, synthetic_surface):
+        return CDIProfiler(synthetic_surface, SYNTHETIC_KERNEL_TIMES)
+
+    @pytest.mark.parametrize("seed", [0, 5, 42, 999, 271828])
+    def test_random_profiles_match_reference(self, profiler, seed):
+        import numpy as np
+
+        from repro.model.reference import predict_sweep_reference
+
+        rng = np.random.RandomState(seed)
+        profile = make_profile(
+            kernel_durations=10.0 ** rng.uniform(-5, 0.8, rng.randint(1, 60)),
+            transfer_sizes=2.0 ** rng.uniform(18, 34, rng.randint(1, 40)),
+            runtime=float(rng.uniform(1.0, 100.0)),
+            parallelism=int(rng.randint(1, 9)),
+        )
+        slacks = np.sort(10.0 ** rng.uniform(-6.2, -1.8, rng.randint(1, 12)))
+        vec = profiler.predict_sweep(profile, slacks)
+        ref = predict_sweep_reference(profiler, profile, slacks)
+        assert vec == ref  # SlackPrediction dataclass equality: exact
+
+    def test_explicit_parallelism_matches_reference(self, profiler):
+        from repro.model.reference import predict_sweep_reference
+
+        profile = make_profile(
+            kernel_durations=[9e-4, 5e-3, 0.1],
+            transfer_sizes=[3 * MiB, 50 * MiB],
+        )
+        slacks = (1e-6, 1e-4, 1e-2)
+        vec = profiler.predict_sweep(profile, slacks, parallelism=4)
+        ref = predict_sweep_reference(profiler, profile, slacks, parallelism=4)
+        assert vec == ref
+
+    def test_empty_slack_grid(self, profiler):
+        assert profiler.predict_sweep(make_profile(), ()) == {}
+
+
 class TestSelfValidation:
     """The paper's Section IV-D methodology validation, on a real
     (simulated) sweep: the lower bound self-predicts within 0.005."""

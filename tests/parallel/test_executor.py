@@ -127,7 +127,11 @@ class TestSweepTiming:
         assert t.points_per_sec == pytest.approx(2 / t.wall_s)
         doc = t.to_doc()
         assert doc["grid_points"] == 2
-        assert doc["speedup_vs_sequential"] == t.speedup_vs_sequential
+        # Sequential runs must not report a pseudo-speedup: the ratio
+        # of the inline path against itself is meaningless, so both
+        # the property and the doc emit None (JSON null).
+        assert t.speedup_vs_sequential is None
+        assert doc["speedup_vs_sequential"] is None
 
     def test_timing_excluded_from_equality(self):
         a = run_slack_sweep(

@@ -1,0 +1,239 @@
+"""Columnar/scalar parity: the store must be invisible to analysis.
+
+Hypothesis-style seeded property tests: random event streams (ties,
+zero-duration events, mixed kinds, shared names, metas) are recorded
+into both a legacy scalar :class:`Trace` and a :class:`ColumnarTrace`,
+and every public behavior — materialized event sequences, filtered
+views, vectorized summaries, timeline analysis, JSON round-trips —
+must match **bit for bit**.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    ColumnarTrace,
+    CopyKind,
+    EventKind,
+    Trace,
+    TraceEvent,
+    device_gaps,
+    device_gaps_reference,
+    utilization_series,
+    utilization_series_reference,
+)
+from repro.trace.store import ColumnStore
+
+SEEDS = [0, 1, 7, 42, 1234, 987654]
+
+NAMES = ["matmul", "memcpyH2D", "memcpyD2H", "sync", "fft", "reduce"]
+
+
+def random_events(seed, n=None):
+    """A reproducible stream of messy-but-valid trace events."""
+    rng = np.random.RandomState(seed)
+    n = int(rng.randint(1, 400)) if n is None else n
+    events = []
+    for _ in range(n):
+        kind = EventKind(
+            rng.choice([k.value for k in EventKind], p=[0.4, 0.2, 0.2, 0.1, 0.1])
+        )
+        # Coarse grid of starts => plenty of exact ties for the
+        # stable-sort parity; occasional zero-duration events.
+        start = float(rng.randint(0, 50)) * 1e-4
+        duration = float(rng.choice([0.0, 1e-5, 3e-4, 2e-3]))
+        copy_kind = None
+        nbytes = 0
+        name = str(rng.choice(NAMES))
+        meta = {}
+        if kind is EventKind.MEMCPY:
+            copy_kind = list(CopyKind)[int(rng.randint(0, 3))]
+            nbytes = int(rng.randint(1, 1 << 20))
+        elif kind is EventKind.KERNEL:
+            meta = {"starvation_cost": float(rng.rand()), "n": int(rng.randint(1, 9))}
+        events.append(
+            TraceEvent(
+                kind=kind,
+                name=name,
+                start=start,
+                end=start + duration,
+                stream=None if rng.rand() < 0.3 else int(rng.randint(0, 4)),
+                nbytes=nbytes,
+                copy_kind=copy_kind,
+                correlation_id=int(rng.randint(0, 1000)),
+                thread=int(rng.randint(0, 8)),
+                meta=meta,
+            )
+        )
+    return events
+
+
+def build_both(events):
+    scalar = Trace(name="t")
+    columnar = ColumnarTrace(name="t")
+    for e in events:
+        scalar.append(e)
+        columnar.append(e)
+    return scalar, columnar
+
+
+class TestMaterializationParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sorted_sequence_bit_identical(self, seed):
+        events = random_events(seed)
+        scalar, columnar = build_both(events)
+        assert list(columnar) == list(scalar)
+        assert len(columnar) == len(scalar)
+        assert columnar[0] == scalar[0]
+        assert columnar[len(events) - 1] == scalar[len(events) - 1]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_record_order_preserved(self, seed):
+        events = random_events(seed)
+        _, columnar = build_both(events)
+        assert columnar.events_in_record_order() == events
+
+    def test_iteration_is_cached_until_append(self):
+        events = random_events(3, n=20)
+        _, columnar = build_both(events)
+        first = list(columnar)
+        assert list(columnar) == first
+        columnar.append(events[0])
+        assert len(list(columnar)) == 21
+
+
+class TestSummaryParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scalar_summaries_exact(self, seed):
+        events = random_events(seed)
+        scalar, columnar = build_both(events)
+        assert columnar.start == scalar.start
+        assert columnar.end == scalar.end
+        assert columnar.span == scalar.span
+        assert columnar.total_time() == scalar.total_time()
+        assert columnar.busy_time() == scalar.busy_time()
+        assert columnar.max_concurrency() == scalar.max_concurrency()
+        assert columnar.threads() == scalar.threads()
+        assert columnar.runtime_fraction() == scalar.runtime_fraction()
+        assert (columnar.durations() == scalar.durations()).all()
+        assert (columnar.sizes() == scalar.sizes()).all()
+        assert (columnar.starts() == scalar.starts()).all()
+        assert (columnar.ends() == scalar.ends()).all()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_view_parity(self, seed):
+        events = random_events(seed)
+        scalar, columnar = build_both(events)
+        assert list(columnar.kernels()) == list(scalar.kernels())
+        assert list(columnar.memcpys()) == list(scalar.memcpys())
+        for d in CopyKind:
+            assert list(columnar.memcpys(d)) == list(scalar.memcpys(d))
+        assert columnar.count_kind(EventKind.API) == scalar.count_kind(
+            EventKind.API
+        )
+        assert list(
+            columnar.of_kinds(EventKind.KERNEL, EventKind.MEMCPY)
+        ) == list(scalar.of_kinds(EventKind.KERNEL, EventKind.MEMCPY))
+        cg, sg = columnar.by_name(), scalar.by_name()
+        assert list(cg) == list(sg)  # same names, same first-seen order
+        for name in sg:
+            assert list(cg[name]) == list(sg[name])
+            assert cg[name].busy_time() == sg[name].busy_time()
+        assert columnar.top_names_by_total_time(
+            3
+        ) == scalar.top_names_by_total_time(3)
+        # Generic filter falls back to materialization, same result.
+        pred = lambda e: e.thread % 2 == 0
+        assert list(columnar.filter(pred)) == list(scalar.filter(pred))
+
+    def test_empty_trace(self):
+        columnar = ColumnarTrace(name="empty")
+        assert len(columnar) == 0
+        assert columnar.start == 0.0 and columnar.end == 0.0
+        assert columnar.total_time() == 0.0
+        assert columnar.busy_time() == 0.0
+        assert columnar.max_concurrency() == 0
+        assert columnar.threads() == []
+        assert list(columnar) == []
+        assert columnar.by_name() == {}
+
+
+class TestTimelineParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_device_gaps_exact(self, seed):
+        events = random_events(seed)
+        scalar, columnar = build_both(events)
+        if len(scalar.of_kinds(EventKind.KERNEL, EventKind.MEMCPY)) == 0:
+            pytest.skip("no device activity in this stream")
+        for min_gap in (0.0, 1e-5):
+            ref = device_gaps_reference(scalar, min_gap)
+            for trace in (columnar, scalar):
+                got = device_gaps(trace, min_gap)
+                assert got.gaps == ref.gaps
+                assert got.busy_time == ref.busy_time
+                assert got.span == ref.span
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_utilization_series_exact(self, seed):
+        events = random_events(seed)
+        scalar, columnar = build_both(events)
+        if len(scalar.of_kinds(EventKind.KERNEL, EventKind.MEMCPY)) == 0:
+            pytest.skip("no device activity in this stream")
+        for window in (1e-4, 7e-4):
+            rc, rb = utilization_series_reference(scalar, window)
+            for trace in (columnar, scalar):
+                c, b = utilization_series(trace, window)
+                assert (c == rc).all()
+                assert (b == rb).all()
+
+
+class TestValidationAndStore:
+    def test_record_fast_validates_like_traceevent(self):
+        columnar = ColumnarTrace()
+        with pytest.raises(ValueError, match="before it starts"):
+            columnar.record_fast(EventKind.KERNEL, "k", 1.0, 0.5)
+        with pytest.raises(ValueError, match="nbytes"):
+            columnar.record_fast(EventKind.KERNEL, "k", 0.0, 1.0, nbytes=-1)
+        with pytest.raises(ValueError, match="copy_kind"):
+            columnar.record_fast(EventKind.MEMCPY, "m", 0.0, 1.0, nbytes=4)
+        assert len(columnar) == 0
+
+    def test_views_are_read_only(self):
+        events = random_events(5, n=10)
+        _, columnar = build_both(events)
+        view = columnar.kernels()
+        with pytest.raises(TypeError, match="filtered trace view"):
+            view.record_fast(EventKind.KERNEL, "k", 0.0, 1.0)
+        with pytest.raises(TypeError, match="root trace"):
+            view.to_doc()
+
+    def test_geometric_growth_accounting(self):
+        store = ColumnStore(capacity=4)
+        trace = ColumnarTrace(store=store)
+        for i in range(33):
+            trace.record_fast(EventKind.API, "call", float(i), float(i))
+        stats = store.stats()
+        assert stats["events"] == 33
+        assert stats["growths"] == 4  # 4 -> 8 -> 16 -> 32 -> 64
+        assert store.capacity == 64
+        assert stats["interned_names"] == 1
+        assert stats["bytes"] == store.nbytes_allocated > 0
+
+    def test_store_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ColumnStore(capacity=0)
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_json_doc_round_trip_bit_exact(self, seed):
+        events = random_events(seed)
+        _, columnar = build_both(events)
+        doc = json.loads(json.dumps(columnar.to_doc()))
+        again = ColumnarTrace.from_doc(doc)
+        assert again.name == columnar.name
+        assert list(again) == list(columnar)
+        assert again.events_in_record_order() == (
+            columnar.events_in_record_order()
+        )
+        assert again.busy_time() == columnar.busy_time()
