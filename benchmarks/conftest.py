@@ -88,6 +88,10 @@ def pytest_sessionfinish(session, exitstatus):
     if not _DURATIONS:
         return
     ctx = _SESSION_CTX
+    if ctx is None and not session.config._bench_extra:
+        # Standalone benchmarks (bench_appff, …) write their own
+        # artifacts; don't clobber BENCH_sweep.json with a partial doc.
+        return
     doc = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),

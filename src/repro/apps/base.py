@@ -13,12 +13,31 @@ An application model can do two things:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
+from ..des.fastforward import FastForwardInfo
+from ..obs import get_registry
 from ..trace import Trace
 
-__all__ = ["AppProfile", "ApplicationModel"]
+__all__ = ["AppProfile", "ApplicationModel", "publish_fastforward"]
+
+
+def publish_fastforward(info: FastForwardInfo) -> None:
+    """Publish one profiling run's fast-forward outcome (``appff.*``).
+
+    Counters: ``appff.hits`` / ``appff.fallbacks`` for certified vs
+    full runs, plus ``appff.cycles_skipped`` and
+    ``appff.events_skipped`` for how much simulation the certified
+    runs avoided.
+    """
+    reg = get_registry()
+    if info.certified:
+        reg.counter("appff.hits").inc()
+        reg.counter("appff.cycles_skipped").inc(info.skipped_iterations)
+        reg.counter("appff.events_skipped").inc(info.events_skipped)
+    else:
+        reg.counter("appff.fallbacks").inc()
 
 
 @dataclass(frozen=True)
@@ -48,6 +67,11 @@ class AppProfile:
     runtime_s: float
     queue_parallelism: int
     cuda_calls_per_second: float
+    #: How steady-state fast-forward engaged for this profiling run
+    #: (None for profiles built before the knob existed, e.g. cache
+    #: entries). Excluded from comparison: a fast-forwarded profile is
+    #: the same profile, reached cheaper.
+    fastforward: Optional[FastForwardInfo] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.runtime_s <= 0:

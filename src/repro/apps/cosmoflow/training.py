@@ -14,21 +14,39 @@ Reproduces the observed CPU-GPU interaction pattern:
   small per-step loss/metric copies;
 * the host side needs only ~2 cores (the input pipeline), which is why
   the paper measures no benefit from additional CPU resources.
+
+The run is structured as labeled *segments* — each epoch's train and
+validation phase — of cycles spanning the least common multiple of
+every per-step cadence (prefetch, gradient exchange, weight sync,
+metric copies), so the segmented fast-forward engine
+(:mod:`repro.des.fastforward`) certifies each phase's cycle once,
+verifies later structurally identical phases with a single cycle, and
+extrapolates everything else analytically. Jittered configurations
+(the default: real NSys traces wobble) are ineligible and always run
+in full; the profile records which happened in
+:attr:`~repro.apps.base.AppProfile.fastforward`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Generator, List, Optional
 
 import numpy as np
 
-from ...des import Environment, Event
+from ...des import Environment, Event, quantize
+from ...des.fastforward import (
+    FastForwardInfo,
+    SegmentedEpochMonitor,
+    app_refusal_reason,
+)
+from ...faults import FaultPlan
 from ...gpusim import CudaRuntime, KernelSpec
 from ...hw import A100_SXM4_40GB, GPUSpec, MiB, PCIE_GEN4_X16, PCIeSpec
 from ...network import SlackModel
 from ...trace import CopyKind, EventKind
-from ..base import AppProfile
+from ..base import AppProfile, publish_fastforward
 from .model import CosmoFlowNet
 
 __all__ = [
@@ -86,12 +104,36 @@ class CosmoFlowProfileConfig:
 def profile_cosmoflow(
     config: Optional[CosmoFlowProfileConfig] = None,
     slack: Optional[SlackModel] = None,
+    *,
+    fast_forward: Optional[bool] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> AppProfile:
-    """Run the traced CosmoFlow training and return its profile."""
+    """Run the traced CosmoFlow training and return its profile.
+
+    Parameters
+    ----------
+    fast_forward:
+        Steady-state fast-forward (default on): each train/validation
+        phase certifies one cadence cycle bit-exactly and the rest is
+        extrapolated analytically; phases structurally identical to an
+        already-certified one verify after a single cycle. Same
+        profile, O(warmup) events. Jittered configurations, non-base
+        slack models, active fault plans and phases of fewer than
+        :data:`~repro.des.fastforward.MIN_ITERATIONS` cycles always
+        run the full simulation; ``profile.fastforward`` records what
+        happened.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` degrading the fabric
+        for this run. Active plans refuse fast-forward
+        (``reason="faults-active"``).
+    """
     config = config or CosmoFlowProfileConfig()
+    slack_model = slack or SlackModel.none()
     env = Environment()
+    injector = faults.compile(env) if faults is not None else None
     rt = CudaRuntime(
-        env, gpu=config.gpu, pcie=config.pcie, slack=slack or SlackModel.none()
+        env, gpu=config.gpu, pcie=config.pcie, slack=slack_model,
+        faults=injector,
     )
     rng = np.random.default_rng(config.seed)
     net = CosmoFlowNet(batch_size=config.batch_size)
@@ -129,6 +171,17 @@ def profile_cosmoflow(
         sigma = np.sqrt(np.log(1 + config.jitter**2))
         return float(rng.lognormal(np.log(mean) - sigma**2 / 2, sigma))
 
+    # One cycle spans every per-step cadence below (prefetch, gradient
+    # exchange, weight sync, the %2 metric copy), so steps at the same
+    # offset within a cycle are structurally identical and only a
+    # step's residue modulo the cycle affects its behavior.
+    cycle_len = math.lcm(
+        config.prefetch_batches,
+        config.gradient_exchange_every,
+        config.weight_sync_every,
+        2,
+    )
+
     def run_step(
         stream, kernels: List[KernelSpec], dispatch: float, step: int,
         training: bool,
@@ -137,9 +190,11 @@ def profile_cosmoflow(
         # steps (async — the pipeline keeps a buffer ahead).
         if step % config.prefetch_batches == 0:
             yield from rt.memcpy_async(prefetch_bytes, CopyKind.H2D, stream)
-        # Dispatch the kernel sequence with per-op host cost.
+        # Dispatch the kernel sequence with per-op host cost
+        # (tick-quantized like every simulated device delay, keeping
+        # the run on the dyadic grid fast-forward needs).
         for spec in kernels:
-            yield env.timeout(jittered(dispatch))
+            yield env.timeout(quantize(jittered(dispatch)))
             jk = KernelSpec(
                 name=spec.name,
                 duration_s=jittered(spec.execution_time(config.gpu)),
@@ -165,29 +220,85 @@ def profile_cosmoflow(
             yield from rt.memcpy(metric_bytes, CopyKind.D2H, stream)
         yield from rt.synchronize(stream=stream)
 
+    steps_per_epoch_train = config.train_samples // config.batch_size
+    steps_per_epoch_val = config.val_samples // config.batch_size
+    max_cycles = max(
+        steps_per_epoch_train // cycle_len, steps_per_epoch_val // cycle_len
+    )
+    enabled = True if fast_forward is None else bool(fast_forward)
+    reason = "disabled" if not enabled else app_refusal_reason(
+        slack_model,
+        faults=injector,
+        jitter=config.jitter,
+        epochs=max_cycles,
+    )
+    monitor = SegmentedEpochMonitor(env, rt) if (
+        enabled and reason is None
+    ) else None
+
+    def phase(
+        stream, kernels: List[KernelSpec], dispatch: float, step0: int,
+        steps: int, training: bool, label: str,
+    ) -> Generator[Event, Any, None]:
+        # ``step0`` is the phase's starting step in *full-run*
+        # numbering (independent of any capping of earlier phases);
+        # only its residue modulo the cycle affects per-step behavior,
+        # so every step runs with its full-run cadence phase whether
+        # or not the cycle loop below gets cut short.
+        offset = step0 % cycle_len
+        cycles = steps // cycle_len
+        tail = steps % cycle_len
+        if monitor is not None and cycles > 0:
+            # Phases sharing (label, offset) are structurally
+            # identical, so a certificate from one carries over.
+            monitor.begin_segment((label, offset), cycles)
+        cycle = 0
+        while cycle < cycles:
+            for j in range(cycle_len):
+                yield from run_step(stream, kernels, dispatch, offset + j,
+                                    training)
+            cycle += 1
+            if monitor is not None and monitor.cycle_done():
+                break
+        if monitor is not None and cycles > 0:
+            monitor.end_segment()
+        for j in range(tail):
+            yield from run_step(stream, kernels, dispatch, offset + j,
+                                training)
+
     def main() -> Generator[Event, Any, float]:
         t0 = env.now
         stream = rt.create_stream()
-        steps_per_epoch_train = config.train_samples // config.batch_size
-        steps_per_epoch_val = config.val_samples // config.batch_size
-        step = 0
+        step0 = 0
         for _epoch in range(config.epochs):
-            for _ in range(steps_per_epoch_train):
-                yield from run_step(stream, train_kernels, train_dispatch,
-                                    step, True)
-                step += 1
-            for _ in range(steps_per_epoch_val):
-                yield from run_step(stream, val_kernels, val_dispatch,
-                                    step, False)
-                step += 1
+            yield from phase(stream, train_kernels, train_dispatch, step0,
+                             steps_per_epoch_train, True, "train")
+            step0 += steps_per_epoch_train
+            yield from phase(stream, val_kernels, val_dispatch, step0,
+                             steps_per_epoch_val, False, "val")
+            step0 += steps_per_epoch_val
         yield from rt.synchronize()
         return env.now - t0
 
     main_proc = env.process(main(), name="cosmoflow-main")
     env.run()
 
-    runtime = float(main_proc.value)
-    trace = rt.tracer.trace
+    if monitor is not None and monitor.certified:
+        ex = monitor.extrapolate(float(main_proc.value))
+        runtime = ex.loop_runtime_s
+        trace = ex.trace
+        info = ex.info
+    else:
+        if monitor is not None:
+            # Eligible but never certified: the run completed as a
+            # full simulation on its own.
+            reason = "no-fixed-point"
+        runtime = float(main_proc.value)
+        trace = rt.tracer.trace
+        info = FastForwardInfo(enabled=enabled, certified=False, reason=reason)
+    publish_fastforward(info)
+    # Cheap on a SegmentedEpochTrace: counted from the compression
+    # recipe without expanding the event list.
     api_calls = trace.count_kind(EventKind.API)
     # The paper's pessimistic parallelism: launches take ~1/7 of the
     # sequence, i.e. ~7 kernels deep; halved to 4 as the pessimistic
@@ -199,6 +310,7 @@ def profile_cosmoflow(
         runtime_s=runtime,
         queue_parallelism=parallelism,
         cuda_calls_per_second=api_calls / runtime,
+        fastforward=info,
     )
 
 

@@ -17,6 +17,14 @@ neighbour list: one small H2D (bin metadata) plus a longer build
 kernel. These knobs reproduce Table III's LAMMPS row: ~84k transfers
 at box 120 / 8 ranks / 5000 steps, bulk in the (1, 16] MiB (positions)
 and (16, 256] MiB (forces) bins plus ~2.3k sub-MiB neighbour updates.
+
+The run is structured as *epochs* of ``neighbor_every`` timesteps (one
+full neighbour-rebuild cycle) so the steady-state fast-forward engine
+(:mod:`repro.des.fastforward`) can certify a cycle, cap the simulation
+and extrapolate the remainder analytically — same profile, a fraction
+of the events. Jittered configurations (the default: real NSys traces
+wobble) are ineligible and always run in full; the profile records
+which happened in :attr:`~repro.apps.base.AppProfile.fastforward`.
 """
 
 from __future__ import annotations
@@ -26,12 +34,18 @@ from typing import Any, Generator, Optional
 
 import numpy as np
 
-from ...des import Barrier, Environment, Event
+from ...des import Barrier, Environment, Event, quantize
+from ...des.fastforward import (
+    EpochMonitor,
+    FastForwardInfo,
+    app_refusal_reason,
+)
+from ...faults import FaultPlan
 from ...gpusim import CudaRuntime, KernelSpec
 from ...hw import A100_SXM4_40GB, GPUSpec, PCIE_GEN4_X16, PCIeSpec
 from ...network import SlackModel
 from ...trace import CopyKind, EventKind
-from ..base import AppProfile
+from ..base import AppProfile, publish_fastforward
 from .lj import LJParams
 from .scaling import LammpsScalingModel
 
@@ -73,12 +87,35 @@ class LammpsProfileConfig:
 def profile_lammps(
     config: Optional[LammpsProfileConfig] = None,
     slack: Optional[SlackModel] = None,
+    *,
+    fast_forward: Optional[bool] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> AppProfile:
-    """Run the traced LAMMPS simulation and return its profile."""
+    """Run the traced LAMMPS simulation and return its profile.
+
+    Parameters
+    ----------
+    fast_forward:
+        Steady-state fast-forward (default on): once one
+        neighbour-rebuild epoch is certified bit-exactly periodic, the
+        remaining epochs are extrapolated analytically instead of
+        simulated — same profile, O(warmup) events. Jittered
+        configurations, non-base slack models, active fault plans and
+        runs of fewer than :data:`~repro.des.fastforward.MIN_ITERATIONS`
+        epochs always run the full simulation;
+        ``profile.fastforward`` records what happened.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` degrading the fabric
+        for this run. Active plans refuse fast-forward
+        (``reason="faults-active"``).
+    """
     config = config or LammpsProfileConfig()
+    slack_model = slack or SlackModel.none()
     env = Environment()
+    injector = faults.compile(env) if faults is not None else None
     rt = CudaRuntime(
-        env, gpu=config.gpu, pcie=config.pcie, slack=slack or SlackModel.none()
+        env, gpu=config.gpu, pcie=config.pcie, slack=slack_model,
+        faults=injector,
     )
     rng = np.random.default_rng(config.seed)
     scaling = LammpsScalingModel()
@@ -109,33 +146,69 @@ def profile_lammps(
 
     step_barrier = Barrier(env, P)
 
-    def rank(rank_id: int) -> Generator[Event, Any, None]:
-        stream = rt.create_stream()
-        for step in range(params.steps):
-            # CPU-side force prep / previous-step integration.
-            yield env.timeout(jittered(cpu_step) / 2)
-            if step % config.neighbor_every == 0:
-                yield from rt.memcpy(neigh_bytes, CopyKind.H2D, stream, rank_id)
-                yield from rt.launch(
-                    KernelSpec(
-                        name="k_neigh_build",
-                        duration_s=jittered(pair_time * 2.5),
-                    ),
-                    stream,
-                    rank_id,
-                )
-            yield from rt.memcpy(pos_bytes, CopyKind.H2D, stream, rank_id)
+    # One epoch = one full neighbour-rebuild cycle of timesteps. A
+    # step's index within its epoch equals its residue modulo
+    # ``neighbor_every`` in the whole run, so the rebuild cadence is
+    # preserved whether or not the epoch loop gets capped — including
+    # for the tail steps of a step count that is not a multiple of the
+    # cadence.
+    total_epochs = params.steps // config.neighbor_every
+    tail_steps = params.steps % config.neighbor_every
+
+    enabled = True if fast_forward is None else bool(fast_forward)
+    reason = "disabled" if not enabled else app_refusal_reason(
+        slack_model,
+        faults=injector,
+        jitter=config.jitter,
+        epochs=total_epochs,
+    )
+    monitor = EpochMonitor(env, rt, P, total_epochs) if (
+        enabled and reason is None
+    ) else None
+
+    def timestep(
+        stream: Any, rank_id: int, substep: int
+    ) -> Generator[Event, Any, None]:
+        # CPU-side force prep / previous-step integration. CPU delays
+        # are tick-quantized like every simulated device delay, so the
+        # whole run stays on the dyadic grid fast-forward needs.
+        yield env.timeout(quantize(jittered(cpu_step) / 2))
+        if substep == 0:
+            yield from rt.memcpy(neigh_bytes, CopyKind.H2D, stream, rank_id)
             yield from rt.launch(
                 KernelSpec(
-                    name="k_lj_cut_force", duration_s=jittered(pair_time)
+                    name="k_neigh_build",
+                    duration_s=jittered(pair_time * 2.5),
                 ),
                 stream,
                 rank_id,
             )
-            yield from rt.memcpy(force_bytes, CopyKind.D2H, stream, rank_id)
-            # CPU-side integration + MPI halo exchange (BSP step).
-            yield env.timeout(jittered(cpu_step) / 2 + comm_step)
-            yield step_barrier.wait()
+        yield from rt.memcpy(pos_bytes, CopyKind.H2D, stream, rank_id)
+        yield from rt.launch(
+            KernelSpec(
+                name="k_lj_cut_force", duration_s=jittered(pair_time)
+            ),
+            stream,
+            rank_id,
+        )
+        yield from rt.memcpy(force_bytes, CopyKind.D2H, stream, rank_id)
+        # CPU-side integration + MPI halo exchange (BSP step).
+        yield env.timeout(quantize(jittered(cpu_step) / 2 + comm_step))
+        yield step_barrier.wait()
+
+    def rank(rank_id: int) -> Generator[Event, Any, None]:
+        stream = rt.create_stream()
+        epoch = 0
+        while epoch < (
+            monitor.stop_at if monitor is not None else total_epochs
+        ):
+            for substep in range(config.neighbor_every):
+                yield from timestep(stream, rank_id, substep)
+            epoch += 1
+            if monitor is not None:
+                monitor.epoch_done(rank_id)
+        for substep in range(tail_steps):
+            yield from timestep(stream, rank_id, substep)
 
     def main() -> Generator[Event, Any, float]:
         t0 = env.now
@@ -147,8 +220,23 @@ def profile_lammps(
     main_proc = env.process(main(), name="lammps-main")
     env.run()
 
-    runtime = float(main_proc.value) + LammpsScalingModel().setup_s
-    trace = rt.tracer.trace
+    setup_s = LammpsScalingModel().setup_s
+    if monitor is not None and monitor.certified:
+        ex = monitor.extrapolate(float(main_proc.value))
+        runtime = ex.loop_runtime_s + setup_s
+        trace = ex.trace
+        info = ex.info
+    else:
+        if monitor is not None:
+            # Eligible but never certified: the run completed as a
+            # full simulation on its own.
+            reason = "no-fixed-point"
+        runtime = float(main_proc.value) + setup_s
+        trace = rt.tracer.trace
+        info = FastForwardInfo(enabled=enabled, certified=False, reason=reason)
+    publish_fastforward(info)
+    # Cheap on a RepeatedEpochTrace: counted from the compression
+    # recipe without expanding the event list.
     api_calls = trace.count_kind(EventKind.API)
     return AppProfile(
         name="lammps",
@@ -158,4 +246,5 @@ def profile_lammps(
         # traces at this configuration).
         queue_parallelism=P,
         cuda_calls_per_second=api_calls / runtime,
+        fastforward=info,
     )

@@ -33,7 +33,7 @@ __all__ = ["PROFILE_CACHE_VERSION", "AppProfileCache", "profile_key"]
 
 #: Bump whenever app-model or simulator changes alter what a profiling
 #: run records — stale traces must not survive a behavioral change.
-PROFILE_CACHE_VERSION = "2026.08-5"
+PROFILE_CACHE_VERSION = "2026.08-6"
 
 
 def profile_key(

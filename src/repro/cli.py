@@ -11,7 +11,9 @@ Subcommands:
 * ``profile {lammps,cosmoflow}`` — trace an application model and
   predict its slack penalty (optionally exporting the trace);
 * ``sweep`` — measure a slack response surface on a custom grid
-  (``--faults SPEC`` degrades the fabric, see docs/faults.md);
+  (``--faults SPEC`` degrades the fabric, see docs/faults.md;
+  ``--adaptive [--tol PEN]`` measures a seed and refines only where
+  log-linear interpolation exceeds the tolerance);
 * ``faults`` — describe/validate a fault-plan spec without running;
 * ``metrics`` — render a RunReport JSON (see docs/observability.md)
   as a human-readable table.
@@ -109,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "subcommand and docs/faults.md), e.g. "
                               "'seed=42;loss:rate=1%%;"
                               "flap:start=5ms,down=2ms'")
+    sweep_p.add_argument("--adaptive", action="store_true",
+                         help="adaptive refinement: measure a seed of "
+                              "each series and predict the rest by "
+                              "log-linear interpolation, refining only "
+                              "where the interpolation error exceeds "
+                              "--tol")
+    sweep_p.add_argument("--tol", type=float, default=None, metavar="PEN",
+                         help="certification tolerance for --adaptive, "
+                              "in penalty units (default 1e-3 = 0.1 "
+                              "percentage points)")
     _add_parallel_flags(sweep_p)
 
     faults_p = sub.add_parser(
@@ -417,7 +429,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         None if args.no_cache
         else PointCache(default_cache_dir() / "points")
     )
-    sweep = run_slack_sweep(
+    if args.tol is not None and not args.adaptive:
+        print("--tol requires --adaptive", file=sys.stderr)
+        return 2
+    common = dict(
         matrix_sizes=matrix_sizes,
         slack_values_s=slacks,
         threads=threads,
@@ -427,6 +442,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fast_forward=False if args.no_fast_forward else None,
         faults=faults,
     )
+    if args.adaptive:
+        from .model import DEFAULT_TOL, adaptive_slack_sweep
+
+        res = adaptive_slack_sweep(
+            tol=DEFAULT_TOL if args.tol is None else args.tol, **common
+        )
+        sweep = res.dense
+        print(
+            f"[adaptive: {res.measured_grid_points}/"
+            f"{res.dense_grid_points} points measured "
+            f"({res.measured_fraction:.0%}: {res.seed_points} seed + "
+            f"{res.refined_points} refined), {res.predicted_points} "
+            f"predicted within {res.tol:g}, max observed error "
+            f"{res.max_error:.2e}]",
+            file=sys.stderr,
+        )
+    else:
+        sweep = run_slack_sweep(**common)
     if sweep.timing is not None:
         t = sweep.timing
         print(

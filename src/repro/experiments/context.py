@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import warnings
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -49,7 +50,16 @@ __all__ = ["ExperimentContext", "default_cache_dir"]
 
 
 def default_cache_dir() -> Path:
-    """Where cached surfaces live (repo-local, git-ignorable)."""
+    """Where cached surfaces live (repo-local, git-ignorable).
+
+    The ``REPRO_CACHE_DIR`` environment variable overrides the
+    location — CI jobs and multi-checkout setups point it at a shared
+    (or scratch) directory without threading ``cache_dir`` through
+    every entry point. An empty value is ignored.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if override:
+        return Path(override).expanduser()
     return Path(__file__).resolve().parents[3] / ".cache"
 
 
@@ -74,8 +84,12 @@ class ExperimentContext:
     a :class:`~repro.faults.FaultPlan` to the proxy sweep, making
     :meth:`surface` a *degraded-mode* response surface (the plan joins
     the surface-cache key, so healthy and degraded surfaces never
-    alias). ``use_cache`` is the deprecated spelling of ``cache`` and
-    will be removed in a future release.
+    alias). ``adaptive``/``tol`` switch the sweep to error-bounded
+    adaptive refinement (measure a seed, predict the rest to within
+    ``tol`` — see :func:`repro.model.adaptive.adaptive_slack_sweep`);
+    adaptive surfaces get their own surface-cache digests.
+    ``use_cache`` is the deprecated spelling of ``cache`` and will be
+    removed in a future release.
     """
 
     def __init__(
@@ -87,6 +101,8 @@ class ExperimentContext:
         cache: Union[bool, PointCache] = True,
         fast_forward: Optional[bool] = None,
         faults: Optional[FaultPlan] = None,
+        adaptive: bool = False,
+        tol: Optional[float] = None,
         use_cache: Optional[bool] = None,
     ) -> None:
         if use_cache is not None:
@@ -102,6 +118,14 @@ class ExperimentContext:
         self.workers = workers
         self.cache = cache
         self.fast_forward = fast_forward
+        if tol is not None and not adaptive:
+            raise ValueError("tol is only meaningful with adaptive=True")
+        #: Adaptive-refinement knobs, passed straight through to
+        #: :func:`repro.proxy.run_slack_sweep` (error-bounded seed +
+        #: bisection instead of the dense grid; the surface then
+        #: contains predicted points certified to within ``tol``).
+        self.adaptive = adaptive
+        self.tol = tol
         # Normalize the healthy-fabric spellings (None / empty plan) to
         # None so cache paths and sweep behavior are identical.
         self.faults = (
@@ -153,6 +177,8 @@ class ExperimentContext:
             cache=self.point_cache(),
             fast_forward=self.fast_forward,
             faults=self.faults,
+            adaptive=self.adaptive,
+            tol=self.tol,
         )
         self.sweep_timing = sweep.timing
         self._surface = SlackResponseSurface(sweep)
@@ -186,6 +212,12 @@ class ExperimentContext:
             # Only degraded surfaces extend the key: healthy surface
             # files keep their historical digests (and stay warm).
             key_doc["faults"] = self.faults.to_doc()
+        if self.adaptive:
+            # Adaptive surfaces contain predicted points — never alias
+            # them with a fully measured surface file (dense digests
+            # are likewise unchanged when the knob is off).
+            key_doc["adaptive"] = True
+            key_doc["tol"] = self.tol
         key = json.dumps(key_doc, sort_keys=True)
         digest = hashlib.sha256(key.encode()).hexdigest()[:16]
         return self._cache_base() / f"surface-{digest}.json"

@@ -483,7 +483,33 @@ class FaultPlan:
         return cls(seed=seed, events=tuple(events))
 
     def describe(self) -> str:
-        """Human-readable multi-line summary of the plan."""
+        """Human-readable multi-line summary of the plan.
+
+        Each event line is followed by its *grid window*: the exact
+        dyadic-tick bounds the compiled :class:`FaultInjector` uses at
+        runtime (``start``/``duration`` snapped to the 2^-40 s grid
+        independently, end = start + duration — the same arithmetic as
+        :mod:`repro.faults.runtime`, so what is printed is bit-for-bit
+        what the simulator compares timestamps against).
+        """
+        from ..des import TICK_S, quantize
+
+        def grid(start_s: float, length_s: Optional[float]) -> str:
+            start = quantize(start_s)
+            if length_s is None:
+                return (
+                    f"             grid window: "
+                    f"[{int(round(start / TICK_S))}, inf) ticks "
+                    f"= [{start!r}s, inf)"
+                )
+            end = start + quantize(length_s)
+            return (
+                f"             grid window: "
+                f"[{int(round(start / TICK_S))}, "
+                f"{int(round(end / TICK_S))}) ticks "
+                f"= [{start!r}s, {end!r}s)"
+            )
+
         lines = [
             f"FaultPlan(seed={self.seed}): "
             f"{len(self.events)} event(s)"
@@ -496,6 +522,7 @@ class FaultPlan:
                     f"{event.start_s + event.duration_s:g}s): "
                     f"+{event.extra_s * 1e6:g} us per call"
                 )
+                lines.append(grid(event.start_s, event.duration_s))
             elif isinstance(event, CongestionEpisode):
                 lines.append(
                     f"  congestion [{event.start_s:g}s, "
@@ -503,12 +530,14 @@ class FaultPlan:
                     f"rho={event.utilization:g} "
                     f"(+{event.extra_s * 1e6:g} us per call)"
                 )
+                lines.append(grid(event.start_s, event.duration_s))
             elif isinstance(event, LinkFlap):
                 lines.append(
                     f"  flap       [{event.start_s:g}s, "
                     f"{event.start_s + event.down_s:g}s): link down "
                     f"{event.down_s * 1e3:g} ms"
                 )
+                lines.append(grid(event.start_s, event.down_s))
             elif isinstance(event, MessageLoss):
                 window = (
                     "whole run"
@@ -521,12 +550,14 @@ class FaultPlan:
                     f"backoff {event.backoff_base_s * 1e6:g} us x2^k, "
                     f"{event.max_retries} retries then timeout"
                 )
+                lines.append(grid(event.start_s, event.duration_s))
             elif isinstance(event, GpuStall):
                 lines.append(
                     f"  stall      [{event.start_s:g}s, "
                     f"{event.start_s + event.duration_s:g}s): "
                     f"+{event.extra_s * 1e6:g} us per compute op"
                 )
+                lines.append(grid(event.start_s, event.duration_s))
         lines.append(
             "  determinism: all delays tick-quantized "
             "(repro.des.timebase), loss decisions drawn from "

@@ -5,6 +5,7 @@ surface into the lower/upper penalty bounds of the paper's Table IV,
 and self-validates the methodology on proxy traces (Section IV-D).
 """
 
+from .adaptive import DEFAULT_TOL, AdaptiveSweepResult, adaptive_slack_sweep
 from .binning import (
     BinnedDistribution,
     TABLE3_BIN_EDGES_MIB,
@@ -29,6 +30,9 @@ from .validation import (
 )
 
 __all__ = [
+    "DEFAULT_TOL",
+    "AdaptiveSweepResult",
+    "adaptive_slack_sweep",
     "equation1_remove_direct_slack",
     "equation2_total_slack_penalty",
     "equation3_binned_slack_penalty",

@@ -16,7 +16,12 @@ giving up reproducibility:
   proxy run to scalar measurements.
 """
 
-from .executor import ExecutorStats, SweepExecutor, fork_available
+from .executor import (
+    ExecutorStats,
+    SweepExecutor,
+    fork_available,
+    merge_stats,
+)
 from .point import PointMeasurement, PointTask, measure_point
 from .pointcache import POINT_CACHE_VERSION, PointCache, point_key
 
@@ -24,6 +29,7 @@ __all__ = [
     "SweepExecutor",
     "ExecutorStats",
     "fork_available",
+    "merge_stats",
     "PointTask",
     "PointMeasurement",
     "measure_point",

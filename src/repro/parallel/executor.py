@@ -68,6 +68,29 @@ class ExecutorStats:
         return self.point_seconds / self.wall_s if self.wall_s > 0 else 0.0
 
 
+def merge_stats(runs: Sequence[ExecutorStats]) -> Optional[ExecutorStats]:
+    """Combine the stats of several executor runs into one.
+
+    Multi-round drivers (the adaptive sweep refines in batches, each a
+    separate :meth:`SweepExecutor.run`) would otherwise only see the
+    last round on ``executor.stats``. Additive fields sum; ``workers``
+    is the maximum any round used; ``mode`` reports "process" if any
+    round pooled. Returns ``None`` for an empty sequence.
+    """
+    runs = [r for r in runs if r is not None]
+    if not runs:
+        return None
+    return ExecutorStats(
+        wall_s=sum(r.wall_s for r in runs),
+        tasks=sum(r.tasks for r in runs),
+        measured=sum(r.measured for r in runs),
+        cached=sum(r.cached for r in runs),
+        workers=max(r.workers for r in runs),
+        mode="process" if any(r.mode == "process" for r in runs) else "inline",
+        point_seconds=sum(r.point_seconds for r in runs),
+    )
+
+
 def fork_available() -> bool:
     """Whether this platform supports the ``fork`` start method."""
     return "fork" in multiprocessing.get_all_start_methods()

@@ -1,108 +1,44 @@
-"""Steady-state cycle detection and analytic fast-forward for the proxy.
+"""Proxy-facing surface of the steady-state fast-forward engine.
 
-The proxy workload (:mod:`repro.proxy.matmul`) simulates up to 1000
-*identical* loop iterations event by event. After a short warmup the
-simulation is strictly periodic: every per-iteration quantity — the
-wall-time delta, the injected slack, the starvation cost, the heap
-shape at the epoch boundary — repeats bit for bit (guaranteed by the
-dyadic time grid, :mod:`repro.des.timebase`). This module exploits
-that: it watches the run at thread-0 epoch boundaries, certifies a
-fixed point once ``CONSECUTIVE_CERTS`` consecutive cycles are
-bit-identical, caps every worker at a uniform epoch count two cycles
-past certification (so multi-thread contention plays out its natural
-tail *inside the same simulation*), and analytically extrapolates the
-skipped ``S`` cycles:
-
-* absolute times shift by ``S * period`` (exact dyadic arithmetic);
-* additive counters and totals advance by ``S`` times their certified
-  per-cycle delta;
-* the trace becomes a :class:`~repro.trace.RepeatedEpochTrace` that
-  expands to the full event list on demand;
-* engine utilizations are recomputed from the extrapolated busy/idle
-  sums — the same operands the full run would divide, so the quotient
-  is bit-identical too.
-
-Why capping (not replaying) is exact: the truncated run is identical
-to the full run up to the certification boundary ``B_c``; the full
-run's window ``[B_c, B_c + S*period)`` is ``S`` shifted copies of the
-certified reference cycle; and the full run's suffix after
-``B_{c+S}`` equals the truncated run's suffix after ``B_c`` shifted by
-``S*period``, because at those two instants every thread has the same
-number of epochs left (the uniform cap subtracts ``S`` from each
-thread's remaining count) and the relative simulator state is
-bit-identical (that is what the certificate checks).
-
-Certification is deliberately conservative: any configuration whose
-periodicity cannot be certified — phase barriers, iteration spacing,
-staggered thread launch, jittered or subclassed slack models, or a run
-that simply never settles — completes as a full simulation and the
-result records the fallback reason.
+The certification machinery — :class:`EpochMonitor`, the counter and
+shape snapshots, the analytic extrapolation on the dyadic timebase —
+was hoisted into :mod:`repro.des.fastforward` so the LAMMPS and
+CosmoFlow application runs can reuse it. This module re-exports those
+names unchanged (existing imports keep working) and keeps the one
+piece that is genuinely proxy-specific: :func:`refusal_reason`, which
+knows about :class:`~repro.proxy.matmul.ProxyConfig`'s steady-state
+perturbation knobs (phase barriers, iteration spacing, staggered
+thread launch).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
-from ..des import Environment, Process
-from ..des.core import _PRIORITY_SHIFT
+from ..des.fastforward import (
+    CONSECUTIVE_CERTS,
+    EpochMonitor,
+    Extrapolated,
+    FastForwardInfo,
+    MAX_WARMUP_EPOCHS,
+    MIN_ITERATIONS,
+    SegmentedEpochMonitor,
+)
 from ..network import SlackModel
-from ..trace import RepeatedEpochTrace, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..gpusim import CudaRuntime
     from .matmul import ProxyConfig
 
 __all__ = [
     "FastForwardInfo",
     "EpochMonitor",
+    "SegmentedEpochMonitor",
     "Extrapolated",
     "refusal_reason",
     "MIN_ITERATIONS",
     "CONSECUTIVE_CERTS",
     "MAX_WARMUP_EPOCHS",
 ]
-
-#: Below this iteration count fast-forward cannot save anything (the
-#: earliest certification caps the run at 6 epochs).
-MIN_ITERATIONS = 7
-
-#: Consecutive bit-identical cycle certificates required to certify.
-CONSECUTIVE_CERTS = 3
-
-#: Give up watching after this many warmup epochs: a run that has not
-#: settled by then is not going to, and the boundary snapshots would
-#: only slow the full simulation down.
-MAX_WARMUP_EPOCHS = 32
-
-
-@dataclass(frozen=True)
-class FastForwardInfo:
-    """How fast-forward engaged (or why it did not) for one run."""
-
-    enabled: bool
-    certified: bool
-    reason: Optional[str] = None
-    #: Thread-0 epochs actually simulated (the warmup + settle tail).
-    warmup_iterations: int = 0
-    #: Per-thread iterations skipped analytically.
-    skipped_iterations: int = 0
-    #: DES events the skipped cycles would have scheduled.
-    events_skipped: int = 0
-    #: The certified steady-state cycle period.
-    cycle_period_s: float = 0.0
-
-
-@dataclass(frozen=True)
-class Extrapolated:
-    """Full-run result values reconstructed from a truncated run."""
-
-    loop_runtime_s: float
-    injected_slack_s: float
-    starvation_cost_s: float
-    trace: Trace
-    sim_metrics: Dict[str, float]
-    info: FastForwardInfo
 
 
 def refusal_reason(
@@ -139,283 +75,3 @@ def refusal_reason(
     if iterations < MIN_ITERATIONS:
         return "too-few-iterations"
     return None
-
-
-# Indices into the per-boundary counter tuple (deltas of these must be
-# bit-identical across certified cycles).
-_NOW = 0
-_EID = 1
-_CB_POOL = 2
-_TRACE_LEN = 3
-_CORR = 4
-_API_CALLS = 5
-_LAUNCHES = 6
-_MEMCPYS = 7
-_BYTES_H2D = 8
-_BYTES_D2H = 9
-_INTERCEPTED = 10
-_DELAYED = 11
-_INJECTED = 12
-_STARVATION = 13
-#: First per-engine slot; each engine contributes (ops, busy, idle).
-_ENGINES_BASE = 14
-
-_UTIL_LABELS = ("compute", "copy_h2d", "copy_d2h")
-
-
-class EpochMonitor:
-    """Watches epoch boundaries, certifies a fixed point, caps the run.
-
-    Workers call :meth:`epoch_done` after each loop iteration and read
-    :attr:`stop_at` as their iteration bound. At each *thread-0*
-    boundary the monitor takes a cheap snapshot of every quantity the
-    result depends on — additive counters (compared as per-cycle
-    deltas) and the relative simulator shape (heap contents, engine
-    and stream queue state, open utilization intervals, thread epoch
-    offsets — compared for identity). ``CONSECUTIVE_CERTS`` identical
-    certificates certify the steady state; the run is then capped two
-    epochs later for every thread and the skipped cycles are
-    reconstructed by :meth:`extrapolate`.
-    """
-
-    def __init__(
-        self,
-        env: Environment,
-        rt: "CudaRuntime",
-        threads: int,
-        iterations: int,
-    ) -> None:
-        self.env = env
-        self.rt = rt
-        self.iterations = iterations
-        #: Per-thread iteration bound; lowered once on certification.
-        self.stop_at = iterations
-        self.completed = [0] * threads
-        self.certified_at: Optional[int] = None
-        self.cycle_delta: Optional[Tuple[float, ...]] = None
-        self._window: Optional[Tuple[float, float]] = None
-        self._engines = (rt.compute, rt.copy_h2d, rt.copy_d2h)
-        # Incremental closed busy/idle sums per engine: summing the
-        # whole interval list at every boundary would be O(epochs^2).
-        self._tracker_state = [[0, 0.0, 0.0] for _ in self._engines]
-        self._prev_counters: Optional[Tuple[float, ...]] = None
-        self._prev_cert: Optional[tuple] = None
-        self._streak = 0
-        self._dead = False
-
-    @property
-    def certified(self) -> bool:
-        """Whether a steady-state fixed point was certified."""
-        return self.certified_at is not None
-
-    # -- boundary hook -----------------------------------------------------------
-    def epoch_done(self, thread_id: int) -> None:
-        """Called by a worker after completing one loop iteration."""
-        self.completed[thread_id] += 1
-        if thread_id != 0 or self._dead or self.certified_at is not None:
-            return
-        c = self.completed[0]
-        if c > MAX_WARMUP_EPOCHS or c + 2 >= self.iterations:
-            # Not going to settle (or nothing left to skip): stop
-            # paying for snapshots and let the run complete naturally.
-            self._dead = True
-            return
-        counters = self._counters()
-        if self._prev_counters is not None:
-            delta = tuple(
-                b - a for a, b in zip(self._prev_counters, counters)
-            )
-            cert = (delta, self._shape(c))
-            if cert == self._prev_cert:
-                self._streak += 1
-            else:
-                self._streak = 1
-                self._prev_cert = cert
-            if (
-                self._streak >= CONSECUTIVE_CERTS
-                and delta[_CB_POOL] == 0
-                and max(self.completed) <= c + 1
-            ):
-                # delta[_CB_POOL] == 0: a still-filling callback pool
-                # would hit its cap inside the skipped cycles, breaking
-                # linear extrapolation. max offset <= +1: a thread two
-                # epochs ahead would already have passed the uniform
-                # cap, so the truncated tail would diverge from the
-                # full run's.
-                self.certified_at = c
-                self.stop_at = c + 2
-                self.cycle_delta = delta
-                self._window = (self._prev_counters[_NOW], counters[_NOW])
-        self._prev_counters = counters
-
-    # -- snapshot ----------------------------------------------------------------
-    def _counters(self) -> Tuple[float, ...]:
-        env, rt = self.env, self.rt
-        inj = rt.injector
-        vals: List[float] = [
-            env._now,
-            # itertools.count exposes its next value via __reduce__
-            # without consuming it (same trick as metrics_snapshot).
-            env._eid.__reduce__()[1][0],
-            len(env._cb_pool),
-            len(rt.tracer.trace),
-            rt.tracer._correlation.__reduce__()[1][0],
-            rt.api_calls,
-            rt.kernel_launches,
-            rt.memcpy_count,
-            rt.memcpy_bytes_h2d,
-            rt.memcpy_bytes_d2h,
-            inj.calls_intercepted,
-            inj.calls_delayed,
-            inj.total_injected_s,
-            rt.compute.total_starvation_cost,
-        ]
-        for eng, state in zip(self._engines, self._tracker_state):
-            intervals = eng.tracker.intervals
-            pos, busy, idle = state
-            for rec in intervals[pos:]:
-                if rec.busy:
-                    busy += rec.end - rec.start
-                else:
-                    idle += rec.end - rec.start
-            state[0], state[1], state[2] = len(intervals), busy, idle
-            vals.extend((eng.ops_executed, busy, idle))
-        return tuple(vals)
-
-    def _shape(self, c: int) -> tuple:
-        """Relative (time-shifted) simulator state at a boundary."""
-        env, rt = self.env, self.rt
-        now = env._now
-        heap = tuple(
-            sorted(
-                (
-                    t - now,
-                    key >> _PRIORITY_SHIFT,
-                    type(ev).__name__,
-                    ev.name if isinstance(ev, Process) else "",
-                )
-                for (t, key, ev) in env._queue
-            )
-        )
-        act = rt.activity
-        activity = (
-            act.busy_until - now if act.ever_busy else 0.0,
-            act.ever_busy,
-        )
-        engines = tuple(
-            (
-                eng.tracker._busy,
-                eng.tracker._started,
-                now - eng.tracker._since if eng.tracker._started else 0.0,
-                len(eng._unit.users),
-                len(eng._unit.queue),
-            )
-            for eng in self._engines
-        )
-        streams = tuple(
-            (
-                sid,
-                s.pending,
-                len(s._queue.items),
-                type(s._in_flight).__name__ if s._in_flight is not None else "",
-                len(s._drain_waiters),
-            )
-            for sid, s in sorted(rt._streams.items())
-        )
-        offsets = tuple(n - c for n in self.completed)
-        return (heap, activity, engines, streams, offsets)
-
-    # -- reconstruction ----------------------------------------------------------
-    def extrapolate(self, loop_runtime_s: float) -> Extrapolated:
-        """Reconstruct the full-run result from the truncated run.
-
-        Call after ``env.run()`` returns on a certified run. Every
-        value produced here is bit-identical to what the full
-        event-by-event simulation yields (see the module docstring for
-        the argument; the parity tests check it across the grid).
-        """
-        assert self.certified_at is not None and self.cycle_delta is not None
-        assert self._window is not None
-        env, rt = self.env, self.rt
-        d = self.cycle_delta
-        skipped = self.iterations - self.stop_at
-        period = d[_NOW]
-        shift = skipped * period
-
-        des = env.metrics_snapshot()
-        eid_add = skipped * d[_EID]
-        des["events_scheduled"] += eid_add
-        des["events_dispatched"] += eid_add
-        des["sim_time_s"] += shift
-
-        snap: Dict[str, float] = {f"des.{k}": v for k, v in des.items()}
-        util: Dict[str, float] = {}
-        for i, (eng, label) in enumerate(zip(self._engines, _UTIL_LABELS)):
-            eng.tracker.finish()
-            base = _ENGINES_BASE + 3 * i
-            busy = eng.tracker.busy_time + skipped * d[base + 1]
-            idle = eng.tracker.idle_time + skipped * d[base + 2]
-            total = busy + idle
-            util[label] = busy / total if total > 0 else 0.0
-        injected = rt.injector.total_injected_s + skipped * d[_INJECTED]
-        starvation = rt.total_starvation_cost() + skipped * d[_STARVATION]
-        snap.update(
-            {
-                "gpu.kernel_launches": float(
-                    rt.kernel_launches + skipped * int(d[_LAUNCHES])
-                ),
-                "gpu.api_calls": float(
-                    rt.api_calls + skipped * int(d[_API_CALLS])
-                ),
-                "gpu.memcpy_h2d_bytes": float(
-                    rt.memcpy_bytes_h2d + skipped * int(d[_BYTES_H2D])
-                ),
-                "gpu.memcpy_d2h_bytes": float(
-                    rt.memcpy_bytes_d2h + skipped * int(d[_BYTES_D2H])
-                ),
-                "gpu.memcpy_count": float(
-                    rt.memcpy_count + skipped * int(d[_MEMCPYS])
-                ),
-                "gpu.stream_count": float(len(rt.streams)),
-                "gpu.compute_utilization": util["compute"],
-                "gpu.copy_h2d_utilization": util["copy_h2d"],
-                "gpu.copy_d2h_utilization": util["copy_d2h"],
-                "gpu.starvation_cost_s": starvation,
-                "fabric.calls_intercepted": float(
-                    rt.injector.calls_intercepted
-                    + skipped * int(d[_INTERCEPTED])
-                ),
-                "fabric.slack_calls": float(
-                    rt.injector.calls_delayed + skipped * int(d[_DELAYED])
-                ),
-                "fabric.slack_injected_s": injected,
-            }
-        )
-
-        window_start, window_end = self._window
-        trace = RepeatedEpochTrace(
-            rt.tracer.trace.events_in_record_order(),
-            window_start=window_start,
-            window_end=window_end,
-            period_s=period,
-            repeats=skipped,
-            correlation_stride=int(d[_CORR]),
-            name=rt.tracer.trace.name,
-        )
-        info = FastForwardInfo(
-            enabled=True,
-            certified=True,
-            reason=None,
-            warmup_iterations=self.stop_at,
-            skipped_iterations=skipped,
-            events_skipped=skipped * int(d[_EID]),
-            cycle_period_s=period,
-        )
-        return Extrapolated(
-            loop_runtime_s=loop_runtime_s + shift,
-            injected_slack_s=injected,
-            starvation_cost_s=starvation,
-            trace=trace,
-            sim_metrics=snap,
-            info=info,
-        )

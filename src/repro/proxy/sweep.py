@@ -245,6 +245,8 @@ def run_slack_sweep(
     executor: Optional["SweepExecutor"] = None,
     fast_forward: Optional[bool] = None,
     faults: Optional["FaultPlan"] = None,
+    adaptive: bool = False,
+    tol: Optional[float] = None,
 ) -> SweepResult:
     """Measure the slack response surface over a parameter grid.
 
@@ -282,8 +284,39 @@ def run_slack_sweep(
     plan is normalized to ``None`` and reproduces the healthy sweep
     bit-identically. For surfaces across *fault intensities* see
     :func:`repro.faults.run_degraded_sweep`.
+
+    ``adaptive=True`` measures only a seed of each series plus
+    error-driven refinements and *predicts* the rest
+    (:func:`repro.model.adaptive.adaptive_slack_sweep`): the returned
+    result still covers the full grid, with unmeasured points
+    synthesized by the response surface's own log-linear interpolation,
+    each certified to within ``tol`` (default
+    :data:`~repro.model.adaptive.DEFAULT_TOL`, 0.1 pp of penalty).
+    Measured points are bit-identical to the dense sweep's and share
+    its per-point cache. Call ``adaptive_slack_sweep`` directly to
+    also get the measured-only view and per-point error bounds.
     """
     from ..parallel import PointTask, SweepExecutor
+
+    if adaptive:
+        # Lazy import: repro.model imports repro.proxy at module level.
+        from ..model.adaptive import DEFAULT_TOL, adaptive_slack_sweep
+
+        return adaptive_slack_sweep(
+            matrix_sizes,
+            slack_values_s,
+            threads,
+            iterations,
+            target_compute_s,
+            tol=DEFAULT_TOL if tol is None else tol,
+            workers=workers,
+            cache=cache,
+            executor=executor,
+            fast_forward=fast_forward,
+            faults=faults,
+        ).dense
+    if tol is not None:
+        raise ValueError("tol is only meaningful with adaptive=True")
 
     if faults is not None and faults.is_empty:
         faults = None

@@ -16,7 +16,7 @@ from .analysis import (
 )
 from .compare import KernelDelta, TraceComparison, compare_traces
 from .container import Trace
-from .epochs import RepeatedEpochTrace
+from .epochs import EpochWindow, RepeatedEpochTrace, SegmentedEpochTrace
 from .events import CopyKind, EventKind, TraceEvent
 from .export import from_csv, from_json, to_csv, to_json
 from .store import ColumnarTrace, ColumnStore
@@ -34,6 +34,8 @@ __all__ = [
     "ColumnarTrace",
     "ColumnStore",
     "RepeatedEpochTrace",
+    "SegmentedEpochTrace",
+    "EpochWindow",
     "TraceEvent",
     "EventKind",
     "CopyKind",

@@ -26,8 +26,41 @@ class TestConfiguration:
         assert cfg.epochs == 5
         assert cfg.train_samples == cfg.val_samples == 1024
 
-    def test_default_cache_dir_is_repo_local(self):
+    def test_default_cache_dir_is_repo_local(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert default_cache_dir().name == ".cache"
+
+    def test_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+        assert default_cache_dir() == tmp_path / "shared"
+        # Empty/whitespace values fall back to the repo-local default.
+        monkeypatch.setenv("REPRO_CACHE_DIR", "  ")
+        assert default_cache_dir().name == ".cache"
+
+    def test_cache_dir_env_override_feeds_context(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        ctx = ExperimentContext(quick=True)
+        cache = ctx.point_cache()
+        assert cache is not None
+        assert cache.root == tmp_path / "env-cache" / "points"
+        # An explicit cache_dir still wins over the environment.
+        ctx2 = ExperimentContext(quick=True, cache_dir=tmp_path / "explicit")
+        assert ctx2.point_cache().root == tmp_path / "explicit" / "points"
+
+    def test_adaptive_knobs(self):
+        ctx = ExperimentContext(quick=True, adaptive=True, tol=5e-4)
+        assert ctx.adaptive and ctx.tol == 5e-4
+        with pytest.raises(ValueError):
+            ExperimentContext(quick=True, tol=1e-3)
+
+    def test_adaptive_surface_gets_own_cache_digest(self, tmp_path):
+        dense = ExperimentContext(quick=True, cache_dir=tmp_path)
+        adaptive = ExperimentContext(
+            quick=True, cache_dir=tmp_path, adaptive=True
+        )
+        assert dense._surface_cache_path() != adaptive._surface_cache_path()
 
 
 class TestProfileMemoization:

@@ -245,3 +245,20 @@ class TestSpecDSL:
 
     def test_describe_empty_plan(self):
         assert "healthy fabric" in FaultPlan().describe()
+
+    def test_describe_prints_dyadic_grid_windows(self):
+        from repro.des import TICK_S, quantize
+
+        text = FaultPlan.from_spec(
+            "flap:start=5ms,down=2ms;loss:rate=1%"
+        ).describe()
+        # The printed window is exactly the injector's pre-quantized
+        # runtime window: start and duration snapped independently,
+        # end = start + duration.
+        start = quantize(5e-3)
+        end = start + quantize(2e-3)
+        assert f"[{int(round(start / TICK_S))}, " \
+               f"{int(round(end / TICK_S))}) ticks" in text
+        assert f"[{start!r}s, {end!r}s)" in text
+        # An unbounded loss window prints an infinite end.
+        assert "[0, inf) ticks" in text

@@ -15,6 +15,7 @@ from repro.parallel import (
     SweepExecutor,
     fork_available,
     measure_point,
+    merge_stats,
 )
 from repro.proxy import ProxyConfig, run_slack_sweep
 
@@ -145,6 +146,35 @@ class TestSweepTiming:
         # Wall times differ between runs, but timing is not part of a
         # result's identity.
         assert a == b
+
+
+class TestMergeStats:
+    def test_merges_additive_fields(self):
+        a = ExecutorStats(
+            wall_s=1.0, tasks=4, measured=3, cached=1, workers=1,
+            mode="inline", point_seconds=0.9,
+        )
+        b = ExecutorStats(
+            wall_s=2.0, tasks=6, measured=6, cached=0, workers=4,
+            mode="process", point_seconds=5.0,
+        )
+        merged = merge_stats([a, b])
+        assert merged.wall_s == 3.0
+        assert merged.tasks == 10
+        assert merged.measured == 9
+        assert merged.cached == 1
+        assert merged.workers == 4
+        assert merged.mode == "process"
+        assert merged.point_seconds == 5.9
+
+    def test_empty_and_none_entries(self):
+        assert merge_stats([]) is None
+        assert merge_stats([None, None]) is None
+        only = ExecutorStats(
+            wall_s=1.0, tasks=2, measured=2, cached=0, workers=1,
+            mode="inline", point_seconds=0.5,
+        )
+        assert merge_stats([None, only]) == only
 
 
 class TestSweepResultIndex:
