@@ -127,7 +127,10 @@ def test_bench_adaptive_sweep():
     grid = list(np.logspace(-6, -2, 33))
 
     dense_s, dense = _best_of(
-        lambda: run_slack_sweep(sizes, grid, threads=threads, iterations=40),
+        lambda: run_slack_sweep(
+            matrix_sizes=sizes, slack_values_s=grid, threads=threads,
+            iterations=40,
+        ),
         repeats=1,
     )
     adaptive_s, res = _best_of(

@@ -2,26 +2,46 @@
 
 ``repro.api`` is the supported import surface: everything listed in
 ``__all__`` here follows the compatibility policy in
-``docs/observability.md`` — names are only removed after a deprecation
-cycle (one release of ``DeprecationWarning``), execution knobs are
-keyword-only with one canonical spelling (``workers=``, ``cache=``),
-and new releases may *add* names but never change the meaning of
-existing ones.
+``docs/api.md`` — names are only removed after a deprecation cycle
+(one release of ``DeprecationWarning``), execution knobs are
+keyword-only with one canonical spelling (``workers=``, ``cache=``,
+or the :class:`SweepOptions` bundle carrying all of them), and new
+releases may *add* names but never change the meaning of existing
+ones.
 
-Importing from submodules (``repro.proxy``, ``repro.parallel``, ...)
-keeps working, but only this module's surface is covered by the
-stability promise. Typical use::
+**The front door is the serving layer.** Most consumers of this
+reproduction want a penalty number, not a simulation:
 
-    from repro.api import (
-        ExperimentContext, run_slack_sweep, collecting,
-    )
+    from repro.api import ExperimentContext, predict_penalty
 
-    with collecting() as registry:
-        sweep = run_slack_sweep(iterations=25, workers=4)
-    print(sweep.report.render())
+    ctx = ExperimentContext(quick=True)
+    penalty, bound = predict_penalty(2048, 1e-4, threads=2,
+                                     surrogate=ctx.surrogate())
 
-The surface groups into six layers:
+* :class:`SurrogateModel` — bounded-error vectorized interpolation
+  over cached sweep points, exact parity with
+  :class:`SlackResponseSurface` at measured points, typed refusals
+  (:class:`SurrogateDomainError`) outside its validated domain.
+* :class:`PenaltyService` — asyncio micro-batching service over a
+  surrogate, with a bounded queue and an optional DES cold path
+  (:class:`ColdPathConfig`) that measures refused queries for real
+  and refines the surrogate online.
+* :func:`predict_penalty` — the one-shot convenience
+  (``rowscale-cdi predict`` on the command line, ``rowscale-cdi
+  serve`` for the long-lived loop). See ``docs/serving.md``.
 
+Beneath the serving layer, the measurement stack it is fit from:
+
+sweeps & experiments
+    :class:`ExperimentContext` (cached surface + app profiles; its
+    :meth:`~repro.experiments.ExperimentContext.surrogate` bridges to
+    the serving layer), :func:`run_slack_sweep`,
+    :class:`SweepOptions` (the one bundle for the ``workers`` /
+    ``cache`` / ``fast_forward`` / ``faults`` / ``adaptive`` / ``tol``
+    knobs, accepted as ``options=`` everywhere those knobs appear),
+    :class:`SweepResult`, :class:`SweepTiming`,
+    :class:`SlackResponseSurface`, :func:`run_experiment`,
+    :func:`run_all`, :class:`CDIProfiler`, :class:`SlackPrediction`.
 simulation core
     :class:`Environment` (the DES engine), :class:`CudaRuntime`,
     :class:`KernelSpec`, :func:`matmul_kernel`, :class:`Trace`,
@@ -33,15 +53,10 @@ hardware & network models
     :class:`SlackModel`, :class:`Fabric`, :class:`FabricSpec`,
     :func:`fibre_distance_for_latency`,
     :func:`latency_for_fibre_distance`.
-proxy methodology & prediction
+proxy methodology
     :class:`ProxyConfig`, :class:`ProxyResult`, :func:`run_proxy`,
     :class:`FastForwardInfo` (the ``result.fastforward`` record of the
-    steady-state fast-forward engine; the ``fast_forward=`` knob on
-    :func:`run_proxy` / :func:`run_slack_sweep` /
-    :class:`ExperimentContext` controls it),
-    :func:`run_slack_sweep`, :class:`SweepResult`,
-    :class:`SweepTiming`, :class:`SlackResponseSurface`,
-    :class:`CDIProfiler`, :class:`SlackPrediction`.
+    steady-state fast-forward engine).
 application models
     :class:`LJParams`, :class:`LammpsScalingModel`,
     :class:`LammpsProfileConfig`, :func:`profile_lammps`,
@@ -51,21 +66,29 @@ fault injection
     :class:`CongestionEpisode`, :class:`LinkFlap`,
     :class:`MessageLoss`, :class:`GpuStall`),
     :class:`FabricTimeoutError`, :func:`run_degraded_sweep`,
-    :class:`DegradedSweepResult` — the ``faults=`` knob on
-    :func:`run_proxy` / :func:`run_slack_sweep` /
-    :class:`ExperimentContext` (see ``docs/faults.md``).
+    :class:`DegradedSweepResult` — the ``faults=`` knob (see
+    ``docs/faults.md``).
 parallel execution & caching
     :class:`SweepExecutor`, :class:`PointCache`,
     :class:`AppProfileCache` (content-addressed traced-profile store,
     see ``docs/performance.md``).
-experiments & observability
-    :class:`ExperimentContext`, :func:`run_experiment`,
-    :func:`run_all`, :class:`MetricsRegistry`, :class:`RunReport`,
+observability
+    :class:`MetricsRegistry`, :class:`RunReport`,
     :func:`enable_metrics`, :func:`disable_metrics`,
-    :func:`get_registry`, :func:`collecting`.
+    :func:`get_registry`, :func:`collecting` (the serving layer
+    publishes under ``serve.*`` and reports ``kind="serve"``).
+
+Deprecated aliases (served with a :class:`DeprecationWarning` via
+module ``__getattr__``, removed after one release): ``Surrogate`` →
+:class:`SurrogateModel`. Legacy *call forms* — positional grid
+arguments to :func:`run_slack_sweep`, ``use_cache=`` on
+:class:`ExperimentContext` — likewise warn for one release.
 """
 
 from __future__ import annotations
+
+import warnings
+from typing import Any
 
 from . import __version__
 from .apps import (
@@ -124,15 +147,47 @@ from .proxy import (
     ProxyConfig,
     ProxyResult,
     SlackResponseSurface,
+    SweepOptions,
     SweepResult,
     SweepTiming,
     run_proxy,
     run_slack_sweep,
 )
+from .serve import (
+    ColdPathConfig,
+    PenaltyService,
+    Prediction,
+    ServiceOverloadedError,
+    SurrogateDomainError,
+    SurrogateModel,
+    predict_penalty,
+)
 from .trace import ColumnarTrace, Trace, Tracer
 
 __all__ = [
     "__version__",
+    # serving (the front door)
+    "SurrogateModel",
+    "Prediction",
+    "SurrogateDomainError",
+    "PenaltyService",
+    "ColdPathConfig",
+    "ServiceOverloadedError",
+    "predict_penalty",
+    # sweeps & experiments
+    "ExperimentContext",
+    "run_experiment",
+    "run_all",
+    "run_slack_sweep",
+    "SweepOptions",
+    "SweepResult",
+    "SweepTiming",
+    "SlackResponseSurface",
+    "CDIProfiler",
+    "SlackPrediction",
+    "PAPER_MATRIX_SIZES",
+    "PAPER_SLACK_VALUES_S",
+    "PAPER_THREAD_COUNTS",
     # simulation core
     "Environment",
     "CudaRuntime",
@@ -153,20 +208,11 @@ __all__ = [
     "FabricSpec",
     "fibre_distance_for_latency",
     "latency_for_fibre_distance",
-    # proxy methodology & prediction
-    "PAPER_MATRIX_SIZES",
-    "PAPER_SLACK_VALUES_S",
-    "PAPER_THREAD_COUNTS",
+    # proxy methodology
     "ProxyConfig",
     "ProxyResult",
     "FastForwardInfo",
     "run_proxy",
-    "run_slack_sweep",
-    "SweepResult",
-    "SweepTiming",
-    "SlackResponseSurface",
-    "CDIProfiler",
-    "SlackPrediction",
     # application models
     "LJParams",
     "LammpsScalingModel",
@@ -188,10 +234,7 @@ __all__ = [
     "SweepExecutor",
     "PointCache",
     "AppProfileCache",
-    # experiments & observability
-    "ExperimentContext",
-    "run_experiment",
-    "run_all",
+    # observability
     "MetricsRegistry",
     "RunReport",
     "enable_metrics",
@@ -199,3 +242,21 @@ __all__ = [
     "get_registry",
     "collecting",
 ]
+
+#: Renamed symbols still served (with a warning) for one release.
+_DEPRECATED_ALIASES = {
+    "Surrogate": ("SurrogateModel", SurrogateModel),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """PEP 562 shim: deprecated aliases warn once per call site."""
+    if name in _DEPRECATED_ALIASES:
+        canonical, value = _DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"repro.api.{name} is deprecated; use repro.api.{canonical}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,7 +16,12 @@ Subcommands:
   log-linear interpolation exceeds the tolerance);
 * ``faults`` — describe/validate a fault-plan spec without running;
 * ``metrics`` — render a RunReport JSON (see docs/observability.md)
-  as a human-readable table.
+  as a human-readable table;
+* ``predict <size> <slack>`` — one-shot penalty prediction from the
+  serving surrogate (``--cold`` measures refused queries for real);
+* ``serve`` — interactive serving loop: read ``SIZE SLACK [THREADS]``
+  queries from stdin, answer each from the micro-batching
+  :class:`~repro.serve.PenaltyService` (see docs/serving.md).
 
 ``--full`` switches from the quick configuration (short runs, fixed
 proxy iterations) to the paper's full run lengths. ``--metrics-out
@@ -142,7 +147,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="RunReport JSON to render (omit to run a small demo sweep "
              "with metrics enabled and render its report)",
     )
+
+    predict_p = sub.add_parser(
+        "predict",
+        help="one-shot penalty prediction from the serving surrogate",
+    )
+    predict_p.add_argument("matrix_size", type=int,
+                           help="proxy matrix size (on the measured grid)")
+    predict_p.add_argument("slack", type=float,
+                           help="one-way slack in seconds")
+    _add_serve_flags(predict_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve penalty predictions: read 'SIZE SLACK [THREADS]' "
+             "queries from stdin, one answer per line",
+    )
+    _add_serve_flags(serve_p)
+    serve_p.add_argument("--metrics-out", metavar="PATH",
+                         dest="metrics_out",
+                         help="enable the metrics registry and write a "
+                              "kind=serve RunReport JSON to PATH on exit")
     return parser
+
+
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the ``predict`` and ``serve`` subcommands."""
+    parser.add_argument("--threads", type=int, default=1, metavar="T",
+                        help="queue parallelism of the prediction "
+                             "(predict only; default 1)")
+    parser.add_argument("--full", action="store_true",
+                        help="fit the surrogate over the paper's full "
+                             "sweep instead of the quick configuration")
+    parser.add_argument("--method", choices=["loglinear", "pchip"],
+                        default="loglinear",
+                        help="surrogate interpolation rule (loglinear = "
+                             "exact surface parity; pchip needs scipy)")
+    parser.add_argument("--cold", action="store_true",
+                        help="measure refused queries with the real DES "
+                             "cold path and refine the surrogate online")
 
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
@@ -204,6 +247,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     workers = _resolve_workers(args)
     metrics_out = _maybe_enable_metrics(args)
@@ -408,10 +455,22 @@ def _parse_faults_arg(args: argparse.Namespace):
     return None if plan.is_empty else plan
 
 
+def _sweep_options(args: argparse.Namespace) -> "SweepOptions":
+    """The resolved execution-knob bundle of one CLI invocation."""
+    from .proxy import SweepOptions
+
+    return SweepOptions(
+        workers=_resolve_workers(args),
+        cache=not getattr(args, "no_cache", False),
+        fast_forward=(
+            False if getattr(args, "no_fast_forward", False) else None
+        ),
+        faults=_parse_faults_arg(args),
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run a custom proxy sweep and print the surface."""
-    from .experiments.context import default_cache_dir
-    from .parallel import PointCache
     from .proxy import (
         PAPER_MATRIX_SIZES,
         PAPER_SLACK_VALUES_S,
@@ -423,24 +482,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     slacks = sorted(args.slacks or PAPER_SLACK_VALUES_S)
     threads = args.threads or [1]
     iterations = args.iterations if args.iterations > 0 else None
-    faults = _parse_faults_arg(args)
     metrics_out = _maybe_enable_metrics(args)
-    cache = (
-        None if args.no_cache
-        else PointCache(default_cache_dir() / "points")
-    )
     if args.tol is not None and not args.adaptive:
         print("--tol requires --adaptive", file=sys.stderr)
         return 2
+    options = _sweep_options(args)
     common = dict(
         matrix_sizes=matrix_sizes,
         slack_values_s=slacks,
         threads=threads,
         iterations=iterations,
-        workers=_resolve_workers(args),
-        cache=cache,
-        fast_forward=False if args.no_fast_forward else None,
-        faults=faults,
+        options=options,
     )
     if args.adaptive:
         from .model import DEFAULT_TOL, adaptive_slack_sweep
@@ -483,6 +535,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for s in slacks:
                 row += f"{1.0 + surface.penalty(n, s, t):>14.4f}"
             print(row)
+    return 0
+
+
+def _serve_setup(args: argparse.Namespace):
+    """Fit the surrogate and cold-path config for predict/serve."""
+    from .serve import ColdPathConfig
+
+    ctx = ExperimentContext(quick=not args.full)
+    model = ctx.surrogate(method=args.method)
+    for note in model.notes:
+        print(f"[surrogate: {note}]", file=sys.stderr)
+    cold = ColdPathConfig() if args.cold else None
+    return model, cold
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    """One-shot penalty prediction from the serving surrogate."""
+    from .serve import SurrogateDomainError, predict_penalty
+
+    model, cold = _serve_setup(args)
+    try:
+        p = predict_penalty(
+            args.matrix_size, args.slack, args.threads,
+            surrogate=model, cold_path=cold,
+        )
+    except SurrogateDomainError as exc:
+        print(f"refused ({exc.reason}): {exc}", file=sys.stderr)
+        if not args.cold:
+            print("hint: --cold measures out-of-domain queries for real",
+                  file=sys.stderr)
+        return 1
+    print(
+        f"matrix {args.matrix_size}, slack {args.slack:g} s, "
+        f"{args.threads} thread(s): penalty {p.penalty * 100:.4f}% "
+        f"(error bound ±{p.bound * 100:.4f} pp)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Interactive serving loop over stdin queries."""
+    import asyncio
+
+    from .serve import PenaltyService, SurrogateDomainError
+
+    model, cold = _serve_setup(args)
+    metrics_out = _maybe_enable_metrics(args)
+
+    async def _loop() -> "PenaltyService":
+        svc = PenaltyService(surrogate=model, cold_path=cold)
+        async with svc:
+            print("ready: SIZE SLACK [THREADS] per line "
+                  "(EOF or blank line to exit)", file=sys.stderr)
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    break
+                parts = line.split()
+                try:
+                    size = int(parts[0])
+                    slack = float(parts[1])
+                    threads = int(parts[2]) if len(parts) > 2 else 1
+                except (IndexError, ValueError):
+                    print(f"cannot parse query {line!r} "
+                          "(want: SIZE SLACK [THREADS])", file=sys.stderr)
+                    continue
+                try:
+                    p = await svc.predict(size, slack, threads)
+                except SurrogateDomainError as exc:
+                    print(f"refused ({exc.reason})")
+                    continue
+                print(f"penalty={p.penalty:.6f} bound={p.bound:.6f}")
+        return svc
+
+    svc = asyncio.run(_loop())
+    stats = svc.stats()
+    print(
+        f"[served {int(stats['requests'])} request(s): "
+        f"{int(stats['answered_warm'])} warm, "
+        f"{int(stats['cold_misses'])} cold, "
+        f"{int(stats['refused'])} refused]",
+        file=sys.stderr,
+    )
+    _write_metrics_report(metrics_out, kind="serve", report=svc.report())
     return 0
 
 

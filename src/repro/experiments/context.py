@@ -42,7 +42,10 @@ from ..proxy import (
     PAPER_SLACK_VALUES_S,
     PAPER_THREAD_COUNTS,
     SlackResponseSurface,
+    SweepOptions,
     SweepTiming,
+    UNSET,
+    resolve_options,
     run_slack_sweep,
 )
 
@@ -88,8 +91,13 @@ class ExperimentContext:
     adaptive refinement (measure a seed, predict the rest to within
     ``tol`` — see :func:`repro.model.adaptive.adaptive_slack_sweep`);
     adaptive surfaces get their own surface-cache digests.
-    ``use_cache`` is the deprecated spelling of ``cache`` and will be
-    removed in a future release.
+
+    The same six knobs also travel as one
+    :class:`~repro.proxy.SweepOptions` via ``options=``; explicit
+    keywords win over the bundle knob-by-knob, matching
+    :func:`~repro.proxy.run_slack_sweep`. ``use_cache`` is the
+    deprecated spelling of ``cache`` and will be removed in a future
+    release.
     """
 
     def __init__(
@@ -97,12 +105,13 @@ class ExperimentContext:
         quick: bool = True,
         *,
         cache_dir: Optional[Path] = None,
-        workers: Optional[int] = 1,
-        cache: Union[bool, PointCache] = True,
-        fast_forward: Optional[bool] = None,
-        faults: Optional[FaultPlan] = None,
-        adaptive: bool = False,
-        tol: Optional[float] = None,
+        options: Optional[SweepOptions] = None,
+        workers: Optional[int] = UNSET,
+        cache: Union[bool, PointCache] = UNSET,
+        fast_forward: Optional[bool] = UNSET,
+        faults: Optional[FaultPlan] = UNSET,
+        adaptive: bool = UNSET,
+        tol: Optional[float] = UNSET,
         use_cache: Optional[bool] = None,
     ) -> None:
         if use_cache is not None:
@@ -112,24 +121,42 @@ class ExperimentContext:
                 DeprecationWarning,
                 stacklevel=2,
             )
-            cache = use_cache
+            if cache is UNSET:
+                cache = use_cache
+        # The context's historical default caches (cache=True), unlike
+        # the bare SweepOptions default — an explicit options bundle
+        # states its own cache knob and is taken at its word.
+        base = options if options is not None else SweepOptions(cache=True)
+        opts = resolve_options(
+            base,
+            {
+                "workers": workers,
+                "cache": cache,
+                "fast_forward": fast_forward,
+                "faults": faults,
+                "adaptive": adaptive,
+                "tol": tol,
+            },
+        )
         self.quick = quick
         self.cache_dir = cache_dir
-        self.workers = workers
-        self.cache = cache
-        self.fast_forward = fast_forward
-        if tol is not None and not adaptive:
-            raise ValueError("tol is only meaningful with adaptive=True")
+        #: The resolved execution-knob bundle (what the sweep receives).
+        self.options = opts
+        self.workers = opts.workers
+        self.cache = opts.cache
+        self.fast_forward = opts.fast_forward
         #: Adaptive-refinement knobs, passed straight through to
         #: :func:`repro.proxy.run_slack_sweep` (error-bounded seed +
         #: bisection instead of the dense grid; the surface then
         #: contains predicted points certified to within ``tol``).
-        self.adaptive = adaptive
-        self.tol = tol
+        self.adaptive = opts.adaptive
+        self.tol = opts.tol
         # Normalize the healthy-fabric spellings (None / empty plan) to
         # None so cache paths and sweep behavior are identical.
         self.faults = (
-            faults if faults is not None and not faults.is_empty else None
+            opts.faults
+            if opts.faults is not None and not opts.faults.is_empty
+            else None
         )
         self._surface: Optional[SlackResponseSurface] = None
         self._profiles: Dict[str, AppProfile] = {}
@@ -186,6 +213,18 @@ class ExperimentContext:
             cache.parent.mkdir(parents=True, exist_ok=True)
             self._surface.to_json(cache)
         return self._surface
+
+    def surrogate(self, *, method: str = "loglinear"):
+        """A serving surrogate fitted over this context's surface.
+
+        Convenience for the serving layer: builds (or loads) the
+        disk-cached response surface and fits a
+        :class:`~repro.serve.SurrogateModel` on its points — what
+        ``rowscale-cdi serve``/``predict`` do at startup.
+        """
+        from ..serve import SurrogateModel
+
+        return SurrogateModel.fit(self.surface(), method=method)
 
     def point_cache(self) -> Optional[PointCache]:
         """The per-point result store (None when caching is disabled)."""

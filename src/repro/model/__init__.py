@@ -6,6 +6,15 @@ and self-validates the methodology on proxy traces (Section IV-D).
 """
 
 from .adaptive import DEFAULT_TOL, AdaptiveSweepResult, adaptive_slack_sweep
+from .surrogate import (
+    BOUND_SAFETY_FACTOR,
+    PCHIP_AVAILABLE,
+    SURROGATE_METHODS,
+    TrainingSeries,
+    crossval_bounds,
+    extract_training_series,
+    interp_penalty,
+)
 from .binning import (
     BinnedDistribution,
     TABLE3_BIN_EDGES_MIB,
@@ -33,6 +42,13 @@ __all__ = [
     "DEFAULT_TOL",
     "AdaptiveSweepResult",
     "adaptive_slack_sweep",
+    "TrainingSeries",
+    "extract_training_series",
+    "crossval_bounds",
+    "interp_penalty",
+    "BOUND_SAFETY_FACTOR",
+    "SURROGATE_METHODS",
+    "PCHIP_AVAILABLE",
     "equation1_remove_direct_slack",
     "equation2_total_slack_penalty",
     "equation3_binned_slack_penalty",

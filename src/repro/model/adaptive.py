@@ -49,16 +49,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..obs import RunReport, get_registry
 from ..proxy.calibration import calibrate_iterations, time_single_kernel
 from ..proxy.matmul import CUDA_CALLS_PER_ITERATION, ProxyConfig
+from ..proxy.options import UNSET as _UNSET
 from ..proxy.sweep import SweepPoint, SweepResult, SweepTiming
+from .surrogate import interp_penalty
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults import FaultPlan
     from ..parallel import PointCache, PointMeasurement, SweepExecutor
+    from ..proxy.options import SweepOptions
 
 __all__ = [
     "DEFAULT_TOL",
@@ -70,18 +73,9 @@ __all__ = [
 DEFAULT_TOL = 1e-3
 
 
-def _interp_penalty(
-    s_lo: float, p_lo: float, s_hi: float, p_hi: float, slack_s: float
-) -> float:
-    """Log-linear penalty interpolation — the surface's own rule."""
-    if slack_s <= s_lo:
-        return p_lo
-    if slack_s >= s_hi:
-        return p_hi
-    t = (math.log(slack_s) - math.log(s_lo)) / (
-        math.log(s_hi) - math.log(s_lo)
-    )
-    return p_lo + t * (p_hi - p_lo)
+# The canonical rule lives in model.surrogate so the serving layer,
+# this refinement loop and the surface certify against one function.
+_interp_penalty = interp_penalty
 
 
 @dataclass
@@ -160,24 +154,39 @@ def adaptive_slack_sweep(
     target_compute_s: float = 30.0,
     *,
     tol: float = DEFAULT_TOL,
-    workers: Optional[int] = 1,
-    cache: Optional["PointCache"] = None,
+    options: Optional["SweepOptions"] = None,
+    workers: Any = _UNSET,
+    cache: Any = _UNSET,
     executor: Optional["SweepExecutor"] = None,
-    fast_forward: Optional[bool] = None,
-    faults: Optional["FaultPlan"] = None,
+    fast_forward: Any = _UNSET,
+    faults: Any = _UNSET,
 ) -> AdaptiveSweepResult:
     """Measure a slack response surface by adaptive refinement.
 
     Same grid semantics and execution knobs as
     :func:`repro.proxy.run_slack_sweep` (whose ``adaptive=True`` path
-    delegates here), plus ``tol``: the certification tolerance in
+    delegates here) — including the ``options=``
+    :class:`~repro.proxy.SweepOptions` bundle, with explicit keywords
+    overriding it — plus ``tol``: the certification tolerance in
     penalty units. Slack values must be positive (the zero-slack
     baseline is implicit, exactly like the dense sweep) and are sorted
     internally; the dense result covers the sorted grid.
     """
     from ..parallel import PointTask, SweepExecutor
     from ..parallel.executor import merge_stats
+    from ..proxy.options import resolve_options
 
+    opts = resolve_options(
+        options,
+        {
+            "workers": workers,
+            "cache": cache,
+            "fast_forward": fast_forward,
+            "faults": faults,
+        },
+    )
+    fast_forward = opts.fast_forward
+    faults = opts.faults
     if tol <= 0:
         raise ValueError("tol must be positive")
     slacks = sorted({float(s) for s in slack_values_s})
@@ -223,9 +232,7 @@ def adaptive_slack_sweep(
         for size in matrix_sizes
     ]
 
-    ex = executor if executor is not None else SweepExecutor(
-        workers=workers, cache=cache
-    )
+    ex = executor if executor is not None else SweepExecutor(options=opts)
     round_stats = []
 
     def run_batch(tasks: List[PointTask]) -> List["PointMeasurement"]:

@@ -22,7 +22,9 @@ package gives both a first-class, *uniform* measurement surface:
 
 Metric names are dotted ``section.metric``; the sections are the
 publishing layers (``des``, ``gpu``, ``fabric``, ``cache``,
-``executor``, ``sweep``, ``experiments``).
+``executor``, ``sweep``, ``experiments``, ``serve`` — the penalty
+service publishes its request/batch/cold-path counters through
+:func:`publish_service`).
 """
 
 from .metrics import (
@@ -42,6 +44,7 @@ from .publish import (
     publish_executor,
     publish_link,
     publish_nic,
+    publish_service,
     publish_snapshot,
     publish_trace_store,
     simulation_snapshot,
@@ -65,6 +68,7 @@ __all__ = [
     "publish_executor",
     "publish_link",
     "publish_nic",
+    "publish_service",
     "publish_trace_store",
     "RunReport",
     "RUN_REPORT_SCHEMA_VERSION",

@@ -41,6 +41,7 @@ __all__ = [
     "publish_executor",
     "publish_link",
     "publish_nic",
+    "publish_service",
     "publish_trace_store",
 ]
 
@@ -166,6 +167,35 @@ def publish_trace_store(
     reg.counter("trace.store.interned_names").inc(stats["interned_names"])
     peak = reg.gauge("trace.store.peak_bytes")
     peak.set(max(peak.value, stats["bytes"]))
+
+
+#: Serving stats that are high-water marks, not additive totals: they
+#: land in gauges (max-merged) instead of counters.
+_SERVE_GAUGE_KEYS = frozenset({"max_batch", "queue_high_water"})
+
+
+def publish_service(
+    stats: Dict[str, float],
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Publish one penalty service's counters under ``serve.*``.
+
+    ``stats`` is :meth:`repro.serve.PenaltyService.stats` — plain
+    scalars accumulated off the hot path (the service never touches
+    the registry per request, matching the snapshot idiom of the
+    simulator layers). Additive counts accumulate into counters;
+    high-water marks (``max_batch``, ``queue_high_water``) max-merge
+    into gauges.
+    """
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled or not stats:
+        return
+    for name, value in stats.items():
+        if name in _SERVE_GAUGE_KEYS:
+            gauge = reg.gauge(f"serve.{name}")
+            gauge.set(max(gauge.value, value))
+        else:
+            reg.counter(f"serve.{name}").inc(value)
 
 
 def publish_link(

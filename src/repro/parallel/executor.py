@@ -28,11 +28,15 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from time import perf_counter
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, TYPE_CHECKING
 
 from ..obs import get_registry, publish_executor, publish_snapshot
+from ..proxy.options import UNSET as _UNSET
 from .point import PointMeasurement, PointTask, measure_point
 from .pointcache import PointCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..proxy.options import SweepOptions
 
 __all__ = ["ExecutorStats", "SweepExecutor"]
 
@@ -111,14 +115,28 @@ class SweepExecutor:
         Tasks per worker dispatch; default splits the miss list into
         roughly four chunks per worker so stragglers rebalance while
         interpreter/dispatch startup still amortizes.
+    options:
+        Optional :class:`~repro.proxy.SweepOptions` supplying
+        ``workers``/``cache`` when the explicit keywords are not
+        passed (explicit keywords win, matching every other
+        ``options=`` consumer). The cache knob resolves through
+        :meth:`~repro.proxy.SweepOptions.point_cache`.
     """
 
     def __init__(
         self,
-        workers: Optional[int] = None,
-        cache: Optional[PointCache] = None,
+        workers: Any = _UNSET,
+        cache: Any = _UNSET,
         chunk_size: Optional[int] = None,
+        *,
+        options: Optional["SweepOptions"] = None,
     ) -> None:
+        if workers is _UNSET:
+            # Bare SweepExecutor() keeps its historical cpu_count
+            # default; an options object supplies its workers knob.
+            workers = None if options is None else options.workers
+        if cache is _UNSET:
+            cache = None if options is None else options.point_cache()
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for cpu_count)")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
@@ -137,7 +155,7 @@ class SweepExecutor:
         miss_idx: List[int] = []
         if self.cache is not None:
             for i, task in enumerate(tasks):
-                hit = self.cache.get(task.config, task.slack_s, task.faults)
+                hit = self.cache.get_task(task)
                 if hit is not None:
                     results[i] = hit
                 else:
@@ -168,9 +186,7 @@ class SweepExecutor:
             for i, m in zip(miss_idx, measured):
                 results[i] = m
                 if self.cache is not None:
-                    self.cache.put(
-                        tasks[i].config, tasks[i].slack_s, m, tasks[i].faults
-                    )
+                    self.cache.put_task(tasks[i], m)
 
         wall = perf_counter() - t0
         self.stats = ExecutorStats(

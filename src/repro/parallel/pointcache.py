@@ -27,7 +27,7 @@ from typing import Optional, Union
 from ..faults import FaultPlan
 from ..obs import get_registry
 from ..proxy.matmul import ProxyConfig
-from .point import PointMeasurement
+from .point import PointMeasurement, PointTask
 
 __all__ = ["POINT_CACHE_VERSION", "PointCache", "point_key"]
 
@@ -153,6 +153,22 @@ class PointCache:
         self.writes += 1
         get_registry().counter("cache.writes").inc()
         return path
+
+    def get_task(self, task: PointTask) -> Optional[PointMeasurement]:
+        """Cached measurement for one :class:`PointTask`.
+
+        The task *is* the cache key — config, slack and fault plan
+        travel together — so every lookup site (dense sweeps, adaptive
+        refinement, the serving cold path) keys identically instead of
+        re-spelling the field triple.
+        """
+        return self.get(task.config, task.slack_s, task.faults)
+
+    def put_task(
+        self, task: PointTask, measurement: PointMeasurement
+    ) -> Path:
+        """Store one task's measurement (see :meth:`get_task`)."""
+        return self.put(task.config, task.slack_s, measurement, task.faults)
 
     def __len__(self) -> int:
         """Number of entries currently stored."""

@@ -16,6 +16,14 @@ from .calibration import (
     time_single_kernel,
 )
 from .fastforward import FastForwardInfo
+from .options import SweepOptions, UNSET, resolve_options
+from .quantize import (
+    dedupe_slacks,
+    same_slack,
+    slack_bucket,
+    slack_tolerance,
+    snap_slack,
+)
 from .matmul import (
     CUDA_CALLS_PER_ITERATION,
     ProxyConfig,
@@ -47,6 +55,14 @@ __all__ = [
     "ITERATION_FLOOR",
     "ITERATION_CEILING",
     "run_slack_sweep",
+    "SweepOptions",
+    "UNSET",
+    "resolve_options",
+    "slack_bucket",
+    "slack_tolerance",
+    "same_slack",
+    "snap_slack",
+    "dedupe_slacks",
     "SweepPoint",
     "SweepResult",
     "SweepTiming",

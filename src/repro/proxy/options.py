@@ -1,0 +1,112 @@
+"""One frozen options object for every sweep entry point.
+
+:func:`repro.proxy.run_slack_sweep` grew an execution-knob set —
+``workers``, ``cache``, ``fast_forward``, ``faults``, ``adaptive``,
+``tol`` — that every layer above it (the CLI, the experiment context,
+the degraded-mode driver, the serving cold path) re-spelled
+keyword-by-keyword. :class:`SweepOptions` is the single canonical
+carrier: build one, pass it as ``options=`` to
+:func:`~repro.proxy.run_slack_sweep`,
+:func:`~repro.model.adaptive.adaptive_slack_sweep`,
+:class:`~repro.experiments.ExperimentContext` or
+:class:`~repro.parallel.SweepExecutor`, and override individual knobs
+per call site with the matching explicit keyword (explicit keywords
+always win over the options object).
+
+The dataclass is frozen and keyword-only (the ``repro.api``
+constructor contract), hashable, and normalizes nothing: resolution —
+``cache=True`` → the repo-local point cache, empty fault plans →
+``None`` — happens in :meth:`point_cache` / the consuming sweep, so
+an options object always round-trips exactly what it was given.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults import FaultPlan
+    from ..parallel import PointCache
+
+__all__ = ["SweepOptions", "UNSET", "resolve_options"]
+
+#: Sentinel distinguishing "knob not passed" from every real value
+#: (``None`` is a meaningful setting for most knobs).
+UNSET: Any = type("_Unset", (), {"__repr__": lambda self: "UNSET"})()
+
+
+@dataclass(frozen=True, kw_only=True)
+class SweepOptions:
+    """Execution knobs of one sweep, as a single frozen value.
+
+    ``workers``
+        Process count (``1`` = deterministic inline, ``None`` =
+        ``os.cpu_count()``).
+    ``cache``
+        ``None``/``False`` = no per-point cache, ``True`` = the
+        repo-local store under ``.cache/points/``, or a concrete
+        :class:`~repro.parallel.PointCache`.
+    ``fast_forward``
+        Steady-state fast-forward knob (``None`` = proxy default, on).
+    ``faults``
+        Optional :class:`~repro.faults.FaultPlan` degrading the fabric.
+    ``adaptive`` / ``tol``
+        Error-bounded adaptive refinement instead of the dense grid;
+        ``tol`` is only meaningful with ``adaptive=True``.
+    """
+
+    workers: Optional[int] = 1
+    cache: Union[bool, "PointCache", None] = None
+    fast_forward: Optional[bool] = None
+    faults: Optional["FaultPlan"] = None
+    adaptive: bool = False
+    tol: Optional[float] = None
+
+    def validate(self) -> "SweepOptions":
+        """Cross-check the knob combination; returns self."""
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for cpu_count)")
+        if self.tol is not None and not self.adaptive:
+            raise ValueError("tol is only meaningful with adaptive=True")
+        return self
+
+    def replace(self, **changes: Any) -> "SweepOptions":
+        """A copy with the given knobs replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def point_cache(self) -> Optional["PointCache"]:
+        """Resolve the ``cache`` knob to a concrete store (or None).
+
+        ``True`` resolves to the repo-local per-point store (honoring
+        the ``REPRO_CACHE_DIR`` override); ``False``/``None`` disable
+        caching; a :class:`~repro.parallel.PointCache` passes through.
+        """
+        from ..parallel import PointCache
+
+        if isinstance(self.cache, PointCache):
+            return self.cache
+        if not self.cache:
+            return None
+        # Lazy import: experiments imports proxy at module level.
+        from ..experiments.context import default_cache_dir
+
+        return PointCache(default_cache_dir() / "points")
+
+
+def resolve_options(
+    options: Optional[SweepOptions], explicit: Mapping[str, Any]
+) -> SweepOptions:
+    """Merge explicit per-call knobs over an options object.
+
+    ``explicit`` maps knob names to values, with :data:`UNSET` marking
+    knobs the caller did not pass — those fall back to ``options``
+    (or the defaults when ``options`` is ``None``). The merged result
+    is validated.
+    """
+    base = options if options is not None else SweepOptions()
+    overrides = {
+        name: value for name, value in explicit.items() if value is not UNSET
+    }
+    return base.replace(**overrides).validate() if overrides else base.validate()

@@ -1,0 +1,100 @@
+"""Shared slack quantization: one rounding rule for every slack index.
+
+Three layers index measurements by their slack value and must agree on
+when two floats name *the same* grid point:
+
+* :meth:`repro.proxy.SweepResult.get` resolves near-miss lookups
+  through a rounded-slack secondary index;
+* :class:`repro.proxy.SlackResponseSurface` groups sweep points into
+  per-``(matrix_size, threads)`` series keyed by slack;
+* the serving surrogate (:mod:`repro.model.surrogate` /
+  :mod:`repro.serve`) extracts training grids from either of the two.
+
+Historically the first used a 7-significant-digit bucket while the
+second kept raw floats, so a slack value sitting within the near-miss
+tolerance of a measured point resolved to that point through
+``SweepResult.get`` but interpolated (or grew a duplicate series
+entry) through the surface — a genuine boundary disagreement once
+adaptive sweeps started synthesizing points from float arithmetic.
+This module is now the single source of truth for all three.
+
+The contract: two slack values are the same grid point iff they are
+within :func:`slack_tolerance` of each other, and
+:func:`slack_bucket` quantizes such that any pair within tolerance
+shares a bucket with at least one of the three probe values
+(``s``, ``s - tol``, ``s + tol``) — rounding is monotone and the
+bucket width dwarfs the tolerance, so the probes cover every boundary
+crossing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "slack_bucket",
+    "slack_tolerance",
+    "bucket_probes",
+    "same_slack",
+    "snap_slack",
+    "dedupe_slacks",
+]
+
+
+def slack_bucket(slack_s: float) -> str:
+    """Rounded-slack index key (7 significant digits)."""
+    return f"{slack_s:.6e}"
+
+
+def slack_tolerance(slack_s: float) -> float:
+    """Absolute tolerance under which two slack values are one point.
+
+    ``1e-12 + 1e-9 * |slack|``: a femtosecond-scale floor plus a
+    relative term nine orders below the value — far above float64
+    noise from grid arithmetic, far below any physically distinct
+    slack on the dyadic tick grid.
+    """
+    return 1e-12 + 1e-9 * abs(slack_s)
+
+
+def bucket_probes(slack_s: float) -> Tuple[float, float, float]:
+    """The three probe values whose buckets cover every near-miss."""
+    tol = slack_tolerance(slack_s)
+    return (slack_s, slack_s - tol, slack_s + tol)
+
+
+def same_slack(a: float, b: float) -> bool:
+    """Whether two slack values name the same grid point."""
+    return abs(a - b) <= slack_tolerance(max(abs(a), abs(b)))
+
+
+def snap_slack(slack_s: float, grid: Iterable[float]) -> Optional[float]:
+    """The grid value ``slack_s`` quantizes to, or ``None``.
+
+    ``grid`` is scanned for the closest value; a match is returned
+    only when it is within :func:`slack_tolerance`. Callers with a
+    sorted numpy grid should bracket via ``searchsorted`` and test the
+    two neighbours with :func:`same_slack` instead — this helper is
+    the small-grid convenience form.
+    """
+    best: Optional[float] = None
+    best_gap = float("inf")
+    for value in grid:
+        gap = abs(value - slack_s)
+        if gap < best_gap:
+            best, best_gap = value, gap
+    if best is not None and best_gap <= slack_tolerance(slack_s):
+        return best
+    return None
+
+
+def dedupe_slacks(slacks: Iterable[float]) -> List[float]:
+    """Sorted slack values with same-bucket duplicates collapsed.
+
+    The *first* spelling of each bucket wins (matching the measured
+    point that was recorded first); order of the result is ascending.
+    """
+    canonical: Dict[str, float] = {}
+    for s in slacks:
+        canonical.setdefault(slack_bucket(s), s)
+    return sorted(canonical.values())

@@ -7,16 +7,25 @@ does the proxy predict at a target slack value and queue parallelism?
 
 Interpolation is log-linear in slack (the grid spans decades) and the
 thread axis falls back to the nearest measured count.
+
+Slack indexing goes through the shared quantization
+(:mod:`repro.proxy.quantize`): points whose slack values share a
+bucket collapse to the first-recorded spelling when the surface is
+built, and a query slack within :func:`~repro.proxy.quantize
+.slack_tolerance` of a measured grid point answers with that point's
+penalty exactly — the same near-miss rule ``SweepResult.get`` applies,
+so the two lookups can no longer disagree at bucket boundaries.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .quantize import same_slack, slack_bucket
 from .sweep import SweepPoint, SweepResult
 
 __all__ = ["SlackResponseSurface"]
@@ -28,11 +37,17 @@ class SlackResponseSurface:
     def __init__(self, sweep: SweepResult) -> None:
         if not sweep.points:
             raise ValueError("sweep has no measured points")
-        self._series: Dict[Tuple[int, int], List[SweepPoint]] = {}
+        buckets: Dict[Tuple[int, int], Dict[str, SweepPoint]] = {}
         for p in sweep.points:
-            self._series.setdefault((p.matrix_size, p.threads), []).append(p)
-        for key in self._series:
-            self._series[key].sort(key=lambda p: p.slack_s)
+            series = buckets.setdefault((p.matrix_size, p.threads), {})
+            # First spelling of a bucket wins, matching SweepResult's
+            # near-miss index — re-measured float spellings of one grid
+            # point must not grow duplicate series entries.
+            series.setdefault(slack_bucket(p.slack_s), p)
+        self._series: Dict[Tuple[int, int], List[SweepPoint]] = {
+            key: sorted(series.values(), key=lambda p: p.slack_s)
+            for key, series in buckets.items()
+        }
 
     # -- introspection --------------------------------------------------------
     def matrix_sizes(self, threads: Optional[int] = None) -> List[int]:
@@ -68,6 +83,13 @@ class SlackResponseSurface:
         series = self._series[key]
         slacks = np.array([p.slack_s for p in series])
         penalties = np.array([max(0.0, p.penalty) for p in series])
+        # Near-miss snap: a query within the shared quantization
+        # tolerance of a measured point is that point (SweepResult.get
+        # semantics), not an interpolation across it.
+        idx = int(np.searchsorted(slacks, slack_s))
+        for j in (idx - 1, idx):
+            if 0 <= j < len(slacks) and same_slack(float(slacks[j]), slack_s):
+                return float(penalties[j])
         if slack_s <= slacks[0]:
             # Below the measured grid: scale the first point linearly
             # down to zero (penalty is linear in slack in this regime).
@@ -96,6 +118,16 @@ class SlackResponseSurface:
         lower = max((s for s in sizes if s <= value), default=sizes[0])
         upper = min((s for s in sizes if s >= value), default=sizes[-1])
         return lower, upper
+
+    def iter_points(self) -> Iterator[SweepPoint]:
+        """The retained (bucket-deduplicated) measured points.
+
+        Series order is sorted ``(matrix_size, threads)``, points
+        ascending in slack — the canonical training-data extraction
+        order for the serving surrogate.
+        """
+        for key in sorted(self._series):
+            yield from self._series[key]
 
     # -- persistence --------------------------------------------------------------
     def to_json(self, path: Union[str, Path]) -> None:

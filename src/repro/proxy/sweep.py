@@ -25,6 +25,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 from ..obs import RunReport, get_registry
 from .calibration import calibrate_iterations, time_single_kernel
 from .matmul import ProxyConfig, run_proxy  # noqa: F401
+from .options import SweepOptions, UNSET, resolve_options
+from .quantize import slack_bucket, slack_tolerance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults import FaultPlan
@@ -76,9 +78,10 @@ PAPER_SLACK_VALUES_S: Tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
 PAPER_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
 
 
-def _slack_bucket(slack_s: float) -> str:
-    """Rounded-slack secondary-index key (7 significant digits)."""
-    return f"{slack_s:.6e}"
+#: Rounded-slack secondary-index key — the shared quantization rule of
+#: :mod:`repro.proxy.quantize` (the surface and the serving surrogate
+#: index by the exact same buckets).
+_slack_bucket = slack_bucket
 
 
 @dataclass(frozen=True)
@@ -208,7 +211,7 @@ class SweepResult:
         point = self._index.get((matrix_size, threads, slack_s))
         if point is not None:
             return point
-        tol = 1e-12 + 1e-9 * slack_s
+        tol = slack_tolerance(slack_s)
         for probe in (slack_s, slack_s - tol, slack_s + tol):
             p = self._near.get((matrix_size, threads, _slack_bucket(probe)))
             if p is not None and abs(p.slack_s - slack_s) <= tol:
@@ -233,22 +236,44 @@ class SweepResult:
         return sorted({p.threads for p in self.points})
 
 
+#: The historical positional parameter order, kept working through a
+#: deprecation shim (see :func:`run_slack_sweep`).
+_LEGACY_POSITIONAL = (
+    "matrix_sizes",
+    "slack_values_s",
+    "threads",
+    "iterations",
+    "target_compute_s",
+)
+
+
 def run_slack_sweep(
-    matrix_sizes: Sequence[int] = PAPER_MATRIX_SIZES,
-    slack_values_s: Sequence[float] = PAPER_SLACK_VALUES_S,
-    threads: Sequence[int] = (1,),
-    iterations: Optional[int] = None,
-    target_compute_s: float = 30.0,
-    *,
-    workers: Optional[int] = 1,
-    cache: Optional["PointCache"] = None,
+    *legacy_args: Any,
+    matrix_sizes: Any = UNSET,
+    slack_values_s: Any = UNSET,
+    threads: Any = UNSET,
+    iterations: Any = UNSET,
+    target_compute_s: Any = UNSET,
+    options: Optional[SweepOptions] = None,
+    workers: Any = UNSET,
+    cache: Any = UNSET,
     executor: Optional["SweepExecutor"] = None,
-    fast_forward: Optional[bool] = None,
-    faults: Optional["FaultPlan"] = None,
-    adaptive: bool = False,
-    tol: Optional[float] = None,
+    fast_forward: Any = UNSET,
+    faults: Any = UNSET,
+    adaptive: Any = UNSET,
+    tol: Any = UNSET,
 ) -> SweepResult:
     """Measure the slack response surface over a parameter grid.
+
+    All parameters are keyword-only. The grid keywords default to the
+    paper's values (``matrix_sizes=PAPER_MATRIX_SIZES``,
+    ``slack_values_s=PAPER_SLACK_VALUES_S``, ``threads=(1,)``,
+    ``iterations=None`` = auto-calibrate, ``target_compute_s=30.0``).
+    The execution knobs can be passed individually or bundled into one
+    :class:`~repro.proxy.SweepOptions` via ``options=``; explicit
+    keywords always override the bundle. The historical positional
+    form (grid parameters by position) still works but emits a
+    :class:`DeprecationWarning`.
 
     Configurations whose matrices exceed device memory are skipped and
     recorded in ``SweepResult.skipped`` (the paper's 2^15 exclusion
@@ -298,7 +323,64 @@ def run_slack_sweep(
     """
     from ..parallel import PointTask, SweepExecutor
 
-    if adaptive:
+    if legacy_args:
+        if len(legacy_args) > len(_LEGACY_POSITIONAL):
+            raise TypeError(
+                f"run_slack_sweep() takes at most "
+                f"{len(_LEGACY_POSITIONAL)} positional arguments "
+                f"({len(legacy_args)} given); the execution knobs are "
+                f"keyword-only"
+            )
+        warnings.warn(
+            "positional arguments to run_slack_sweep are deprecated; "
+            "pass the grid as keywords (matrix_sizes=, slack_values_s=, "
+            "threads=, iterations=, target_compute_s=)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        provided = dict(zip(_LEGACY_POSITIONAL, legacy_args))
+        existing = {
+            "matrix_sizes": matrix_sizes,
+            "slack_values_s": slack_values_s,
+            "threads": threads,
+            "iterations": iterations,
+            "target_compute_s": target_compute_s,
+        }
+        for name, value in provided.items():
+            if existing[name] is not UNSET:
+                raise TypeError(
+                    f"run_slack_sweep() got multiple values for "
+                    f"argument {name!r}"
+                )
+        matrix_sizes = provided.get("matrix_sizes", matrix_sizes)
+        slack_values_s = provided.get("slack_values_s", slack_values_s)
+        threads = provided.get("threads", threads)
+        iterations = provided.get("iterations", iterations)
+        target_compute_s = provided.get("target_compute_s", target_compute_s)
+
+    matrix_sizes = (
+        PAPER_MATRIX_SIZES if matrix_sizes is UNSET else matrix_sizes
+    )
+    slack_values_s = (
+        PAPER_SLACK_VALUES_S if slack_values_s is UNSET else slack_values_s
+    )
+    threads = (1,) if threads is UNSET else threads
+    iterations = None if iterations is UNSET else iterations
+    target_compute_s = 30.0 if target_compute_s is UNSET else target_compute_s
+
+    opts = resolve_options(
+        options,
+        {
+            "workers": workers,
+            "cache": cache,
+            "fast_forward": fast_forward,
+            "faults": faults,
+            "adaptive": adaptive,
+            "tol": tol,
+        },
+    )
+
+    if opts.adaptive:
         # Lazy import: repro.model imports repro.proxy at module level.
         from ..model.adaptive import DEFAULT_TOL, adaptive_slack_sweep
 
@@ -308,16 +390,13 @@ def run_slack_sweep(
             threads,
             iterations,
             target_compute_s,
-            tol=DEFAULT_TOL if tol is None else tol,
-            workers=workers,
-            cache=cache,
+            tol=DEFAULT_TOL if opts.tol is None else opts.tol,
+            options=opts.replace(adaptive=False, tol=None),
             executor=executor,
-            fast_forward=fast_forward,
-            faults=faults,
         ).dense
-    if tol is not None:
-        raise ValueError("tol is only meaningful with adaptive=True")
 
+    fast_forward = opts.fast_forward
+    faults = opts.faults
     if faults is not None and faults.is_empty:
         faults = None
     if faults is not None:
@@ -369,9 +448,7 @@ def run_slack_sweep(
             for s in slack_values_s
         )
 
-    ex = executor if executor is not None else SweepExecutor(
-        workers=workers, cache=cache
-    )
+    ex = executor if executor is not None else SweepExecutor(options=opts)
     measurements = ex.run(tasks)
 
     result = SweepResult()

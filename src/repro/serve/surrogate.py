@@ -1,0 +1,531 @@
+"""The serving surrogate: vectorized penalty prediction with bounds.
+
+:class:`SurrogateModel` answers the question the DES proxy answers —
+what slack penalty does a ``(matrix_size, threads)`` workload pay at a
+given slack? — in microseconds instead of seconds, by interpolating
+cached sweep measurements with the surface's own log-linear rule and
+attaching the cross-validated error bound of the region the query
+fell in (:mod:`repro.model.surrogate`).
+
+Two properties make it a *serving* component rather than a lookup
+table:
+
+* **Vectorized batches.** All series live in one packed coordinate
+  system (per-series shifted log-slack grids), so a batch of queries
+  across arbitrary series resolves with a single ``searchsorted`` and
+  a handful of numpy gathers — no per-request Python. This is what
+  the micro-batching :class:`~repro.serve.PenaltyService` rides to
+  its throughput target.
+* **A refusing domain.** The surrogate knows what it was fit on and
+  declines everything else with a typed
+  :class:`SurrogateDomainError` whose ``reason`` is recorded:
+  unknown ``(matrix_size, threads)`` series, series too short to
+  interpolate, negative slack, slack beyond the measured grid. A
+  refused query is the signal for the service's cold path to measure
+  the real point and :meth:`~SurrogateModel.observe` it back in.
+
+Parity contract: at measured grid points (up to the shared slack
+quantization tolerance) predictions equal
+:meth:`repro.proxy.SlackResponseSurface.penalty` exactly, with bound
+0. :func:`assert_parity` checks this; the serving benchmark runs it
+before reporting any speedup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..model.surrogate import (
+    BOUND_SAFETY_FACTOR,
+    PCHIP_AVAILABLE,
+    SURROGATE_METHODS,
+    TrainingSeries,
+    crossval_bounds,
+    extract_training_series,
+)
+from ..proxy.quantize import slack_bucket
+from ..proxy.response import SlackResponseSurface
+from ..proxy.sweep import SweepPoint, SweepResult
+
+__all__ = [
+    "REFUSAL_REASONS",
+    "Prediction",
+    "SurrogateDomainError",
+    "SurrogateModel",
+    "assert_parity",
+]
+
+#: Reason codes a :class:`SurrogateDomainError` can carry.
+REFUSAL_REASONS = (
+    "unknown-series",
+    "degenerate-series",
+    "negative-slack",
+    "above-grid",
+)
+
+# Refusal reason codes as small ints for the vectorized path; 0 = ok.
+_OK = 0
+_UNKNOWN_SERIES = 1
+_DEGENERATE_SERIES = 2
+_NEGATIVE_SLACK = 3
+_ABOVE_GRID = 4
+_REASON_NAMES = {
+    _UNKNOWN_SERIES: "unknown-series",
+    _DEGENERATE_SERIES: "degenerate-series",
+    _NEGATIVE_SLACK: "negative-slack",
+    _ABOVE_GRID: "above-grid",
+}
+
+# Threads share the packed int64 series key with the matrix size;
+# 16 bits is orders beyond any measured thread count.
+_THREAD_BITS = 16
+
+
+class SurrogateDomainError(LookupError):
+    """A query the surrogate refuses to answer, and why.
+
+    ``reason`` is one of :data:`REFUSAL_REASONS`; ``query`` is the
+    ``(matrix_size, threads, slack_s)`` triple that was refused. The
+    service's cold path catches exactly this error to decide a real
+    DES measurement is warranted.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        query: Tuple[int, int, float],
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.query = query
+
+
+class Prediction(Tuple[float, float]):
+    """A ``(penalty, bound)`` pair with named access."""
+
+    __slots__ = ()
+
+    def __new__(cls, penalty: float, bound: float) -> "Prediction":
+        return super().__new__(cls, (penalty, bound))
+
+    @property
+    def penalty(self) -> float:
+        return self[0]
+
+    @property
+    def bound(self) -> float:
+        return self[1]
+
+
+def _pack_key(matrix_size: int, threads: int) -> int:
+    return (int(matrix_size) << _THREAD_BITS) | int(threads)
+
+
+class SurrogateModel:
+    """Bounded-error penalty surrogate over cached sweep points.
+
+    Keyword-only construction from already-extracted training series;
+    most callers use :meth:`fit` on a sweep, a surface, or raw points.
+
+    ``method`` selects the interpolation rule: ``"loglinear"`` (the
+    surface's own rule, exact parity at measured points — default) or
+    ``"pchip"`` (monotone shape-preserving cubic in log-slack, scipy).
+    When scipy is absent a requested ``"pchip"`` falls back to
+    ``"loglinear"`` and the downgrade is recorded in :attr:`notes`.
+    """
+
+    def __init__(
+        self,
+        *,
+        series: Iterable[TrainingSeries],
+        method: str = "loglinear",
+        safety: float = BOUND_SAFETY_FACTOR,
+    ) -> None:
+        if method not in SURROGATE_METHODS:
+            raise ValueError(
+                f"method must be one of {SURROGATE_METHODS}, got {method!r}"
+            )
+        self.notes: List[str] = []
+        if method == "pchip" and not PCHIP_AVAILABLE:
+            self.notes.append(
+                "pchip requested but scipy is unavailable; "
+                "falling back to loglinear"
+            )
+            method = "loglinear"
+        self.method = method
+        self.safety = safety
+        #: Refusal counts by reason code, across predict/evaluate.
+        self.refusals: Dict[str, int] = {r: 0 for r in REFUSAL_REASONS}
+        #: Points folded in through :meth:`observe` (online refinement).
+        self.observed_points = 0
+        # Mutable training store: (size, threads) -> bucket -> (s, pen).
+        self._points: Dict[Tuple[int, int], Dict[str, Tuple[float, float]]] = {}
+        for ts in series:
+            store = self._points.setdefault(
+                (ts.matrix_size, ts.threads), {}
+            )
+            for s, p in zip(ts.slacks, ts.penalties):
+                store.setdefault(slack_bucket(float(s)), (float(s), float(p)))
+        self._pack()
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        source: Union[SweepResult, SlackResponseSurface, Sequence[SweepPoint]],
+        *,
+        method: str = "loglinear",
+        safety: float = BOUND_SAFETY_FACTOR,
+    ) -> "SurrogateModel":
+        """Fit a surrogate from measured sweep data."""
+        return cls(
+            series=extract_training_series(source, safety=safety),
+            method=method,
+            safety=safety,
+        )
+
+    def _pack(self) -> None:
+        """Rebuild the packed vectorized-lookup arrays.
+
+        Every series' ascending log-slack grid is shifted by
+        ``series_index * span`` where ``span`` exceeds any single
+        series' log-slack range, so one globally sorted array brackets
+        a mixed-series batch with a single ``searchsorted`` — the
+        shift guarantees a query tagged with its series index can only
+        land inside that series' segment.
+        """
+        keys = sorted(self._points)
+        self._keys = np.array(
+            [_pack_key(n, t) for (n, t) in keys], dtype=np.int64
+        )
+        self._series_keys: List[Tuple[int, int]] = keys
+        counts = [len(self._points[k]) for k in keys]
+        self._counts = np.array(counts, dtype=np.int64)
+        self._offsets = np.zeros(len(keys), dtype=np.int64)
+        if keys:
+            np.cumsum(counts[:-1], out=self._offsets[1:])
+        total = int(self._counts.sum())
+        self._slacks = np.empty(total)
+        self._pen = np.empty(total)
+        # Bound of the interval whose *left* endpoint is global index
+        # g; the last point of each series holds 0.0 (no interval).
+        self._ibound = np.zeros(total)
+        self._pchips: Dict[int, object] = {}
+        log_min, log_max = 0.0, 1.0
+        all_logs: List[np.ndarray] = []
+        for idx, key in enumerate(keys):
+            pts = sorted(self._points[key].values())
+            off = int(self._offsets[idx])
+            cnt = len(pts)
+            s = np.array([p[0] for p in pts])
+            self._slacks[off:off + cnt] = s
+            self._pen[off:off + cnt] = [p[1] for p in pts]
+            if cnt >= 2:
+                self._ibound[off:off + cnt - 1] = crossval_bounds(
+                    s, self._pen[off:off + cnt], safety=self.safety
+                )
+            all_logs.append(np.log(s))
+        if all_logs:
+            flat = np.concatenate(all_logs)
+            log_min, log_max = float(flat.min()), float(flat.max())
+        # +10 keeps segments disjoint even after adding the query's
+        # quantization tolerance on either side.
+        self._span = (log_max - log_min) + 10.0
+        self._shifted = np.empty(total)
+        for idx in range(len(keys)):
+            off = int(self._offsets[idx])
+            cnt = int(self._counts[idx])
+            self._shifted[off:off + cnt] = (
+                np.log(self._slacks[off:off + cnt]) - log_min
+                + idx * self._span
+            )
+        self._log_min = log_min
+        if self.method == "pchip":
+            for idx, key in enumerate(keys):
+                off = int(self._offsets[idx])
+                cnt = int(self._counts[idx])
+                if cnt >= 2:
+                    ts = TrainingSeries(
+                        matrix_size=key[0],
+                        threads=key[1],
+                        slacks=self._slacks[off:off + cnt].copy(),
+                        penalties=self._pen[off:off + cnt].copy(),
+                        interval_bounds=self._ibound[off:off + cnt - 1].copy(),
+                    )
+                    fitted = ts.pchip()
+                    if fitted is not None:
+                        self._pchips[idx] = fitted
+
+    # -- domain introspection -------------------------------------------------
+    @property
+    def series_keys(self) -> List[Tuple[int, int]]:
+        """The fitted ``(matrix_size, threads)`` series, sorted."""
+        return list(self._series_keys)
+
+    def series_points(self, matrix_size: int, threads: int) -> int:
+        """How many training points a series holds (0 = unknown)."""
+        return len(self._points.get((matrix_size, threads), ()))
+
+    def domain(self) -> Dict[str, object]:
+        """Machine-readable description of the validated domain."""
+        series = []
+        for idx, (n, t) in enumerate(self._series_keys):
+            off = int(self._offsets[idx])
+            cnt = int(self._counts[idx])
+            series.append(
+                {
+                    "matrix_size": n,
+                    "threads": t,
+                    "points": cnt,
+                    "slack_min_s": float(self._slacks[off]) if cnt else None,
+                    "slack_max_s": (
+                        float(self._slacks[off + cnt - 1]) if cnt else None
+                    ),
+                    "worst_bound": (
+                        float(self._ibound[off:off + cnt - 1].max())
+                        if cnt >= 2
+                        else None
+                    ),
+                }
+            )
+        return {
+            "method": self.method,
+            "safety": self.safety,
+            "series": series,
+            "refusal_reasons": list(REFUSAL_REASONS),
+        }
+
+    # -- evaluation -----------------------------------------------------------
+    def evaluate(
+        self,
+        matrix_sizes: Sequence[int],
+        threads: Sequence[int],
+        slacks: Sequence[float],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized batch prediction.
+
+        Returns ``(penalties, bounds, reasons)`` aligned with the
+        inputs: ``reasons[i] == 0`` marks an answered query (penalty
+        and cross-validated bound valid); a nonzero entry is a refusal
+        code (see :data:`REFUSAL_REASONS` via :meth:`reason_name`)
+        with ``penalties[i]`` and ``bounds[i]`` set to NaN. Refusals
+        are tallied in :attr:`refusals` but never raise here — the
+        scalar :meth:`predict` is the raising form.
+        """
+        n = np.asarray(matrix_sizes, dtype=np.int64)
+        t = np.asarray(threads, dtype=np.int64)
+        s = np.asarray(slacks, dtype=np.float64)
+        if not (n.shape == t.shape == s.shape):
+            raise ValueError("matrix_sizes, threads, slacks must align")
+        m = n.shape[0]
+        pen = np.full(m, np.nan)
+        bound = np.full(m, np.nan)
+        reason = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return pen, bound, reason
+
+        # Series resolution: packed keys against the sorted key table.
+        q_keys = (n << _THREAD_BITS) | t
+        if len(self._keys):
+            sidx = np.searchsorted(self._keys, q_keys)
+            sidx = np.minimum(sidx, len(self._keys) - 1)
+            known = self._keys[sidx] == q_keys
+        else:
+            sidx = np.zeros(m, dtype=np.int64)
+            known = np.zeros(m, dtype=bool)
+        reason[~known] = _UNKNOWN_SERIES
+
+        degenerate = known & (self._counts[sidx] < 2)
+        reason[degenerate] = _DEGENERATE_SERIES
+        negative = (reason == _OK) & (s < 0)
+        reason[negative] = _NEGATIVE_SLACK
+
+        live = reason == _OK
+        zero = live & (s == 0)
+        pen[zero] = 0.0
+        bound[zero] = 0.0
+        live &= ~zero
+        if not live.any():
+            self._tally(reason)
+            return pen, bound, reason
+
+        off = self._offsets[sidx]
+        cnt = self._counts[sidx]
+        last = off + cnt - 1
+        s_min = np.where(live, self._slacks[np.where(live, off, 0)], 1.0)
+        s_max = np.where(live, self._slacks[np.where(live, last, 0)], 1.0)
+        tol = 1e-12 + 1e-9 * np.abs(s)
+
+        above = live & (s > s_max + tol)
+        reason[above] = _ABOVE_GRID
+        live &= ~above
+        if not live.any():
+            self._tally(reason)
+            return pen, bound, reason
+
+        # One global bracket over the shifted per-series coordinates.
+        safe_s = np.where(live, np.maximum(s, 1e-300), 1.0)
+        q = np.log(safe_s) - self._log_min + sidx * self._span
+        pos = np.searchsorted(self._shifted, q)
+
+        # Quantization snap: a query within tolerance of a measured
+        # neighbour answers with that point exactly, bound 0 — the
+        # shared near-miss rule of SweepResult.get and the surface.
+        snapped = np.zeros(m, dtype=bool)
+        for nb in (pos - 1, pos):
+            g = np.clip(nb, 0, max(0, len(self._slacks) - 1))
+            in_series = (g >= off) & (g <= last)
+            hit = (
+                live
+                & ~snapped
+                & in_series
+                & (np.abs(self._slacks[g] - s) <= tol)
+            )
+            pen[hit] = self._pen[g[hit]]
+            bound[hit] = 0.0
+            snapped |= hit
+        live &= ~snapped
+
+        # Below the measured grid: the surface's linear ramp to zero,
+        # certified only as far as the first interval's bound.
+        below = live & (s < s_min)
+        if below.any():
+            o = off[below]
+            pen[below] = self._pen[o] * s[below] / self._slacks[o]
+            bound[below] = self._ibound[o]
+            live &= ~below
+
+        if live.any():
+            hi = np.clip(pos, 0, max(0, len(self._slacks) - 1))
+            lo = np.clip(pos - 1, 0, max(0, len(self._slacks) - 1))
+            # Interior by construction: not below s_min, not above
+            # s_max, not snapped — lo/hi bracket within the series.
+            t_frac = (q[live] - self._shifted[lo[live]]) / (
+                self._shifted[hi[live]] - self._shifted[lo[live]]
+            )
+            pen[live] = self._pen[lo[live]] + t_frac * (
+                self._pen[hi[live]] - self._pen[lo[live]]
+            )
+            bound[live] = self._ibound[lo[live]]
+            if self._pchips:
+                self._apply_pchip(pen, live, sidx, s)
+
+        self._tally(reason)
+        return pen, bound, reason
+
+    def _apply_pchip(
+        self,
+        pen: np.ndarray,
+        live: np.ndarray,
+        sidx: np.ndarray,
+        s: np.ndarray,
+    ) -> None:
+        """Overwrite interior predictions with the per-series PCHIP fit."""
+        for idx, fitted in self._pchips.items():
+            sel = live & (sidx == idx)
+            if sel.any():
+                values = fitted(np.log(s[sel]))  # type: ignore[operator]
+                # Outside the fit range PCHIP yields NaN; those were
+                # already handled by ramp/clamp logic upstream.
+                ok = ~np.isnan(values)
+                target = np.flatnonzero(sel)[ok]
+                pen[target] = np.maximum(0.0, values[ok])
+
+    def _tally(self, reason: np.ndarray) -> None:
+        for code, name in _REASON_NAMES.items():
+            hits = int((reason == code).sum())
+            if hits:
+                self.refusals[name] += hits
+
+    def reason_name(self, code: int) -> Optional[str]:
+        """Human-readable refusal reason for a nonzero code."""
+        return _REASON_NAMES.get(int(code))
+
+    def predict(
+        self, matrix_size: int, slack_s: float, threads: int = 1
+    ) -> Prediction:
+        """One prediction, raising on refusal.
+
+        Argument order mirrors
+        :meth:`~repro.proxy.SlackResponseSurface.penalty`. Returns a
+        :class:`Prediction` ``(penalty, bound)``; raises
+        :class:`SurrogateDomainError` for queries outside the
+        validated domain.
+        """
+        pen, bound, reason = self.evaluate(
+            [matrix_size], [threads], [slack_s]
+        )
+        if reason[0] != _OK:
+            name = _REASON_NAMES[int(reason[0])]
+            raise SurrogateDomainError(
+                name,
+                f"surrogate refuses ({name}): matrix_size={matrix_size} "
+                f"threads={threads} slack_s={slack_s!r}",
+                (matrix_size, threads, slack_s),
+            )
+        return Prediction(float(pen[0]), float(bound[0]))
+
+    # -- online refinement ----------------------------------------------------
+    def observe(
+        self,
+        matrix_size: int,
+        threads: int,
+        slack_s: float,
+        penalty: float,
+    ) -> None:
+        """Fold one real measurement into the surrogate.
+
+        The cold path calls this after a DES measurement so the next
+        query for the same region is answered warm. The point joins
+        its ``(matrix_size, threads)`` series (new series are
+        created), bucket-deduplicated like any training point, and the
+        packed arrays plus that series' cross-validated bounds are
+        rebuilt.
+        """
+        if slack_s <= 0:
+            return
+        store = self._points.setdefault((matrix_size, threads), {})
+        store.setdefault(
+            slack_bucket(slack_s), (float(slack_s), max(0.0, float(penalty)))
+        )
+        self.observed_points += 1
+        self._pack()
+
+
+def assert_parity(
+    model: SurrogateModel,
+    surface: SlackResponseSurface,
+    *,
+    atol: float = 1e-12,
+) -> int:
+    """Assert surrogate/surface agreement at every measured point.
+
+    Walks the surface's retained points and checks the surrogate
+    prediction matches :meth:`SlackResponseSurface.penalty` within
+    ``atol``, with bound 0 (measured points are exact). Returns the
+    number of points checked. The serving benchmark runs this before
+    reporting any throughput numbers.
+    """
+    checked = 0
+    for p in surface.iter_points():
+        if p.slack_s <= 0:
+            continue
+        expected = surface.penalty(p.matrix_size, p.slack_s, p.threads)
+        got = model.predict(p.matrix_size, p.slack_s, p.threads)
+        if abs(got.penalty - expected) > atol:
+            raise AssertionError(
+                f"parity violation at ({p.matrix_size}, {p.threads}, "
+                f"{p.slack_s!r}): surrogate {got.penalty!r} "
+                f"!= surface {expected!r}"
+            )
+        if got.bound != 0.0:
+            raise AssertionError(
+                f"measured point ({p.matrix_size}, {p.threads}, "
+                f"{p.slack_s!r}) reported nonzero bound {got.bound!r}"
+            )
+        checked += 1
+    return checked

@@ -167,3 +167,44 @@ class TestMetrics:
         bad = tmp_path / "nope.json"
         assert main(["metrics", str(bad)]) == 2
         assert "cannot read report" in capsys.readouterr().err
+
+
+class TestPredictAndServe:
+    """The serving subcommands (see docs/serving.md)."""
+
+    def test_predict_on_grid(self, capsys):
+        assert main(["predict", "512", "1e-5"]) == 0
+        out = capsys.readouterr().out
+        assert "penalty" in out and "error bound" in out
+
+    def test_predict_out_of_domain_refuses(self, capsys):
+        assert main(["predict", "999", "1e-5"]) == 1
+        err = capsys.readouterr().err
+        assert "refused (unknown-series)" in err
+        assert "--cold" in err  # the hint names the way out
+
+    def test_predict_negative_slack_refuses(self, capsys):
+        assert main(["predict", "512", "--", "-1e-5"]) == 1
+        assert "negative-slack" in capsys.readouterr().err
+
+    def test_serve_loop(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        report = tmp_path / "serve.json"
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO("512 1e-5\n999 1e-5\nbogus line\n")
+        )
+        assert main(["serve", "--metrics-out", str(report)]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert any(l.startswith("penalty=") for l in lines)
+        assert "refused (unknown-series)" in lines
+        assert "cannot parse query" in captured.err
+        assert "[served 2 request(s): 1 warm, 0 cold, 1 refused]" in (
+            captured.err
+        )
+        doc = json.loads(report.read_text())
+        assert doc["kind"] == "serve"
+        assert doc["meta"]["surrogate_method"] == "loglinear"

@@ -29,7 +29,8 @@ def _worst_predicted_deviation(res, dense):
 class TestParity:
     def test_measured_points_bit_identical_to_dense(self):
         dense = run_slack_sweep(
-            SIZES, UNIFORM_GRID, threads=THREADS, iterations=25
+            matrix_sizes=SIZES, slack_values_s=UNIFORM_GRID,
+            threads=THREADS, iterations=25,
         )
         res = adaptive_slack_sweep(
             SIZES, UNIFORM_GRID, threads=THREADS, iterations=25
@@ -40,7 +41,8 @@ class TestParity:
 
     def test_predicted_within_tol_on_uniform_grid(self):
         dense = run_slack_sweep(
-            SIZES, UNIFORM_GRID, threads=THREADS, iterations=25
+            matrix_sizes=SIZES, slack_values_s=UNIFORM_GRID,
+            threads=THREADS, iterations=25,
         )
         res = adaptive_slack_sweep(
             SIZES, UNIFORM_GRID, threads=THREADS, iterations=25, tol=1e-3
@@ -56,7 +58,9 @@ class TestParity:
         # counts).
         rng = np.random.default_rng(seed)
         grid = sorted(10 ** rng.uniform(-6, -2, 21))
-        dense = run_slack_sweep(SIZES, grid, threads=(1,), iterations=25)
+        dense = run_slack_sweep(
+            matrix_sizes=SIZES, slack_values_s=grid, threads=(1,), iterations=25
+        )
         res = adaptive_slack_sweep(
             SIZES, grid, threads=(1,), iterations=25, tol=1e-3
         )
@@ -123,7 +127,8 @@ class TestEconomy:
         assert res.measured.timing.cached == 0
         # A dense sweep over the same grid reuses every adaptive point.
         dense = run_slack_sweep(
-            (2**11,), UNIFORM_GRID, threads=(1,), iterations=25, cache=cache
+            matrix_sizes=(2**11,), slack_values_s=UNIFORM_GRID,
+            threads=(1,), iterations=25, cache=cache,
         )
         assert dense.timing.cached == res.measured_grid_points
         for p in res.measured.points:
@@ -136,15 +141,16 @@ class TestWiring:
             (2**11,), UNIFORM_GRID, threads=(1,), iterations=25
         )
         via_sweep = run_slack_sweep(
-            (2**11,), UNIFORM_GRID, threads=(1,), iterations=25,
-            adaptive=True,
+            matrix_sizes=(2**11,), slack_values_s=UNIFORM_GRID,
+            threads=(1,), iterations=25, adaptive=True,
         )
         assert via_sweep.points == res.dense.points
 
     def test_tol_requires_adaptive(self):
         with pytest.raises(ValueError, match="adaptive"):
             run_slack_sweep(
-                (2**11,), [1e-5, 1e-4], iterations=25, tol=1e-3
+                matrix_sizes=(2**11,), slack_values_s=[1e-5, 1e-4],
+                iterations=25, tol=1e-3,
             )
 
     def test_invalid_inputs(self):

@@ -1,0 +1,62 @@
+"""Shared fixtures for serving tests: fast synthetic sweeps.
+
+The surrogate and service are exercised against fabricated
+:class:`~repro.proxy.SweepPoint` grids (microseconds to build) rather
+than real DES runs; only the cold-path tests touch the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.proxy import SlackResponseSurface, SweepPoint, SweepResult
+from repro.serve import SurrogateModel
+
+#: The synthetic fitting grid: two sizes, two thread counts, seven
+#: log-spaced slacks — every series viable, every penalty positive.
+SIZES = (512, 2048)
+THREADS = (1, 2)
+SLACKS = tuple(np.logspace(-6, -3, 7))
+
+
+def penalty_law(matrix_size, threads, slack_s):
+    """A smooth, monotone synthetic penalty (percent)."""
+    scale = {512: 40.0, 2048: 2.0}[matrix_size] / threads
+    return scale * (slack_s / 1e-3) ** 0.8
+
+
+def make_point(matrix_size, threads, slack_s, penalty):
+    """Fabricate a sweep point with a prescribed penalty."""
+    return SweepPoint(
+        matrix_size=matrix_size,
+        threads=threads,
+        slack_s=slack_s,
+        loop_runtime_s=1.0 + penalty + 5 * slack_s,
+        corrected_runtime_s=1.0 + penalty,
+        baseline_runtime_s=1.0,
+        iterations=10,
+        kernel_time_s={512: 50e-6, 2048: 1.5e-3}[matrix_size],
+    )
+
+
+def make_sweep(sizes=SIZES, threads=THREADS, slacks=SLACKS, law=penalty_law):
+    sweep = SweepResult()
+    for n in sizes:
+        for t in threads:
+            for s in slacks:
+                sweep.add(make_point(n, t, s, law(n, t, s)))
+    return sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return make_sweep()
+
+
+@pytest.fixture(scope="module")
+def surface(sweep):
+    return SlackResponseSurface(sweep)
+
+
+@pytest.fixture(scope="module")
+def model(sweep):
+    return SurrogateModel.fit(sweep)

@@ -1,0 +1,119 @@
+"""The SweepOptions bundle and its resolution contract."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.parallel import PointCache, SweepExecutor
+from repro.proxy import SweepOptions, UNSET, resolve_options, run_slack_sweep
+
+
+def test_options_are_frozen_and_keyword_only():
+    opts = SweepOptions(workers=2, cache=False)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        opts.workers = 4
+    with pytest.raises(TypeError):
+        SweepOptions(2)
+
+
+def test_defaults_round_trip():
+    opts = SweepOptions()
+    assert opts.workers == 1
+    assert opts.cache is None
+    assert opts.fast_forward is None
+    assert opts.faults is None
+    assert opts.adaptive is False
+    assert opts.tol is None
+    assert opts == SweepOptions()
+    assert hash(opts) == hash(SweepOptions())
+
+
+def test_validate_rejects_bad_combinations():
+    with pytest.raises(ValueError, match="workers"):
+        SweepOptions(workers=0).validate()
+    with pytest.raises(ValueError, match="adaptive"):
+        SweepOptions(tol=1e-3).validate()
+    assert SweepOptions(adaptive=True, tol=1e-3).validate().tol == 1e-3
+
+
+def test_replace_returns_updated_copy():
+    base = SweepOptions(workers=1)
+    other = base.replace(workers=4)
+    assert base.workers == 1 and other.workers == 4
+
+
+def test_point_cache_resolution():
+    assert SweepOptions(cache=None).point_cache() is None
+    assert SweepOptions(cache=False).point_cache() is None
+    store = PointCache.__new__(PointCache)  # no disk touch needed
+    assert SweepOptions(cache=store).point_cache() is store
+
+
+def test_resolve_options_explicit_keywords_win():
+    base = SweepOptions(workers=2, cache=False)
+    merged = resolve_options(base, {"workers": 4, "cache": UNSET})
+    assert merged.workers == 4
+    assert merged.cache is False
+    untouched = resolve_options(base, {"workers": UNSET})
+    assert untouched == base
+    defaulted = resolve_options(None, {"workers": UNSET})
+    assert defaulted == SweepOptions()
+
+
+def test_run_slack_sweep_accepts_options():
+    opts = SweepOptions(workers=1, cache=False, fast_forward=True)
+    result = run_slack_sweep(
+        matrix_sizes=[256], slack_values_s=[1e-5], threads=[1],
+        iterations=3, target_compute_s=2.0, options=opts,
+    )
+    assert len(result.points) == 1
+
+
+def test_run_slack_sweep_explicit_keyword_overrides_options():
+    opts = SweepOptions(workers=4, cache=False)
+    # The explicit workers=1 wins over the options object's 4.
+    result = run_slack_sweep(
+        matrix_sizes=[256], slack_values_s=[1e-5], threads=[1],
+        iterations=3, target_compute_s=2.0, options=opts, workers=1,
+    )
+    assert result.timing.workers == 1
+    assert result.timing.mode == "inline"
+
+
+def test_legacy_positional_grid_still_works_with_warning():
+    with pytest.warns(DeprecationWarning, match="keyword"):
+        result = run_slack_sweep(
+            [256], [1e-5], [1], 3, 2.0, workers=1, cache=False
+        )
+    assert len(result.points) == 1
+
+
+def test_executor_accepts_options():
+    ex = SweepExecutor(options=SweepOptions(workers=3, cache=False))
+    assert ex.workers == 3
+    assert ex.cache is None
+
+
+def test_executor_explicit_workers_beat_options():
+    ex = SweepExecutor(workers=2, options=SweepOptions(workers=8))
+    assert ex.workers == 2
+
+
+def test_context_accepts_options_bundle():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        ctx = ExperimentContext(options=SweepOptions(workers=2, cache=False))
+    assert ctx.workers == 2
+    assert ctx.cache is False
+    assert ctx.options.workers == 2
+
+
+def test_context_explicit_knob_beats_options():
+    ctx = ExperimentContext(
+        options=SweepOptions(workers=2, cache=False), workers=5
+    )
+    assert ctx.workers == 5
+    assert ctx.options.workers == 5
+    assert ctx.cache is False

@@ -36,6 +36,24 @@ def test_quickstart_imports():
     )
 
 
+def test_serving_layer_is_on_the_facade():
+    """The documented front door: serving names lead ``__all__``."""
+    from repro.api import (  # noqa: F401
+        ColdPathConfig,
+        PenaltyService,
+        Prediction,
+        ServiceOverloadedError,
+        SurrogateDomainError,
+        SurrogateModel,
+        SweepOptions,
+        predict_penalty,
+    )
+
+    assert api.__all__.index("SurrogateModel") < api.__all__.index(
+        "run_slack_sweep"
+    )
+
+
 def test_no_deprecation_warning_on_import():
     """Importing the supported surface never warns (the CI leg runs the
     whole suite under ``-W error::DeprecationWarning``; this is the
@@ -117,3 +135,27 @@ def test_sweep_module_unknown_attribute_still_raises():
 
     with pytest.raises(AttributeError):
         sweep_mod.does_not_exist
+
+
+# -- deprecated facade aliases ------------------------------------------------
+
+def test_surrogate_alias_warns_and_resolves_canonical():
+    with pytest.warns(DeprecationWarning, match="SurrogateModel"):
+        alias = api.Surrogate
+    assert alias is api.SurrogateModel
+
+
+def test_facade_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        api.does_not_exist
+
+
+def test_legacy_positional_sweep_grid_warns():
+    from repro.api import run_slack_sweep
+
+    with pytest.warns(DeprecationWarning, match="keyword"):
+        result = run_slack_sweep(
+            [256], [1e-5], iterations=3, target_compute_s=2.0,
+            workers=1, cache=False,
+        )
+    assert len(result.points) == 1
