@@ -101,10 +101,14 @@ def pytest_sessionfinish(session, exitstatus):
             _experiment_name(nodeid): round(duration, 4)
             for nodeid, duration in sorted(_DURATIONS.items())
         },
+        # Never null: a structured reason is distinguishable from
+        # "the writer crashed before filling the field".
         "sweep": (
             ctx.sweep_timing.to_doc()
             if ctx is not None and ctx.sweep_timing is not None
-            else None  # surface came fully from cache: no sweep ran
+            else {"skipped": "fully-cached"}  # surface came from disk
+            if ctx is not None
+            else {"skipped": "no-shared-context"}
         ),
     }
     doc.update(session.config._bench_extra)

@@ -72,6 +72,15 @@ parallel execution & caching
     :class:`SweepExecutor`, :class:`PointCache`,
     :class:`AppProfileCache` (content-addressed traced-profile store,
     see ``docs/performance.md``).
+multi-host sharding
+    :class:`GridSpec`, :func:`run_sweep_shard`, :func:`merge_shards`,
+    :class:`ShardCoordinator`, :func:`write_shard`,
+    :func:`load_shard`, the compatibility digests
+    :func:`faults_digest` / :func:`options_digest`, and the typed
+    errors :class:`ShardMergeError` /
+    :class:`ShardingUnsupportedError` — split one sweep grid across
+    hosts and merge the artifacts byte-identically (see "Scaling out
+    a sweep" in ``docs/performance.md``).
 observability
     :class:`MetricsRegistry`, :class:`RunReport`,
     :func:`enable_metrics`, :func:`disable_metrics`,
@@ -138,7 +147,21 @@ from .obs import (
     enable_metrics,
     get_registry,
 )
-from .parallel import PointCache, SweepExecutor
+from .parallel import (
+    GridSpec,
+    PointCache,
+    ShardCoordinator,
+    ShardMergeError,
+    ShardMergeStats,
+    SweepExecutor,
+    SweepShard,
+    faults_digest,
+    load_shard,
+    merge_shards,
+    options_digest,
+    run_sweep_shard,
+    write_shard,
+)
 from .proxy import (
     FastForwardInfo,
     PAPER_MATRIX_SIZES,
@@ -146,6 +169,7 @@ from .proxy import (
     PAPER_THREAD_COUNTS,
     ProxyConfig,
     ProxyResult,
+    ShardingUnsupportedError,
     SlackResponseSurface,
     SweepOptions,
     SweepResult,
@@ -234,6 +258,19 @@ __all__ = [
     "SweepExecutor",
     "PointCache",
     "AppProfileCache",
+    # multi-host sharding
+    "GridSpec",
+    "SweepShard",
+    "run_sweep_shard",
+    "write_shard",
+    "load_shard",
+    "merge_shards",
+    "ShardCoordinator",
+    "ShardMergeStats",
+    "ShardMergeError",
+    "ShardingUnsupportedError",
+    "faults_digest",
+    "options_digest",
     # observability
     "MetricsRegistry",
     "RunReport",

@@ -13,7 +13,12 @@ Subcommands:
 * ``sweep`` — measure a slack response surface on a custom grid
   (``--faults SPEC`` degrades the fabric, see docs/faults.md;
   ``--adaptive [--tol PEN]`` measures a seed and refines only where
-  log-linear interpolation exceeds the tolerance);
+  log-linear interpolation exceeds the tolerance; ``--shard I/N
+  --shard-out PATH`` runs one shard of the grid's deterministic
+  partition as a scale-out worker, ``--merge-shards PATH...``
+  reassembles worker artifacts into the full surface, and
+  ``--shard-workers N`` does both locally over N subprocesses — see
+  docs/performance.md);
 * ``faults`` — describe/validate a fault-plan spec without running;
 * ``metrics`` — render a RunReport JSON (see docs/observability.md)
   as a human-readable table;
@@ -110,6 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--iterations", type=int, default=25,
                          help="loop iterations per point (default 25; "
                               "0 = auto-calibrate like the paper)")
+    sweep_p.add_argument("--target-compute", type=float, default=30.0,
+                         dest="target_compute", metavar="SECONDS",
+                         help="auto-calibration compute budget per point "
+                              "(default 30.0; only with --iterations 0)")
+    sweep_p.add_argument("--shard", metavar="I/N", dest="shard",
+                         help="run only shard I of the grid's "
+                              "deterministic N-way partition and write "
+                              "its artifact to --shard-out (scale-out "
+                              "worker mode; see docs/performance.md)")
+    sweep_p.add_argument("--shard-out", metavar="PATH", dest="shard_out",
+                         help="shard artifact output path (required "
+                              "with --shard)")
+    sweep_p.add_argument("--merge-shards", nargs="+", metavar="PATH",
+                         dest="merge_shards",
+                         help="merge shard artifacts into the full "
+                              "surface instead of running a sweep")
+    sweep_p.add_argument("--shard-workers", type=int, default=0,
+                         dest="shard_workers", metavar="N",
+                         help="execute the grid as N local shard "
+                              "subprocesses and merge (0 = off)")
     sweep_p.add_argument("--faults", metavar="SPEC", dest="faults",
                          help="degrade the fabric with a fault plan "
                               "(spec DSL or JSON; see 'faults' "
@@ -469,11 +494,23 @@ def _sweep_options(args: argparse.Namespace) -> "SweepOptions":
     )
 
 
+def _parse_shard_arg(spec: str):
+    """Parse ``--shard I/N`` into an ``(index, count)`` pair."""
+    try:
+        index_s, count_s = spec.split("/")
+        return int(index_s), int(count_s)
+    except ValueError:
+        raise SystemExit(
+            f"invalid --shard {spec!r} (want INDEX/COUNT, e.g. 0/4)"
+        )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run a custom proxy sweep and print the surface."""
     from .proxy import (
         PAPER_MATRIX_SIZES,
         PAPER_SLACK_VALUES_S,
+        ShardingUnsupportedError,
         SlackResponseSurface,
         run_slack_sweep,
     )
@@ -482,16 +519,116 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     slacks = sorted(args.slacks or PAPER_SLACK_VALUES_S)
     threads = args.threads or [1]
     iterations = args.iterations if args.iterations > 0 else None
-    metrics_out = _maybe_enable_metrics(args)
     if args.tol is not None and not args.adaptive:
         print("--tol requires --adaptive", file=sys.stderr)
         return 2
+    sharded = bool(args.shard or args.shard_workers or args.merge_shards)
+    if args.adaptive and sharded:
+        print(
+            "sharding unsupported: adaptive sweeps cannot be sharded "
+            "(refinement is a sequential decision process over the "
+            "whole grid); drop --adaptive or the shard flags",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard and args.merge_shards:
+        print("--shard and --merge-shards are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.shard_out and not args.shard:
+        print("--shard-out requires --shard", file=sys.stderr)
+        return 2
+    metrics_out = _maybe_enable_metrics(args)
+
+    if args.shard:
+        from .parallel import GridSpec, run_sweep_shard, write_shard
+
+        if not args.shard_out:
+            print("--shard requires --shard-out PATH", file=sys.stderr)
+            return 2
+        index, count = _parse_shard_arg(args.shard)
+        grid = GridSpec(
+            matrix_sizes=matrix_sizes,
+            slack_values_s=slacks,
+            threads=threads,
+            iterations=iterations,
+            target_compute_s=args.target_compute,
+        )
+        try:
+            shard = run_sweep_shard(
+                grid, index, count, options=_sweep_options(args)
+            )
+        except (ShardingUnsupportedError, ValueError) as exc:
+            print(f"cannot run shard: {exc}", file=sys.stderr)
+            return 2
+        path = write_shard(shard, args.shard_out)
+        s = shard.stats
+        print(
+            f"[shard {index}/{count}: {len(shard.index)} of "
+            f"{grid.task_count} grid points "
+            f"({int(s.get('cached', 0))} cached) in "
+            f"{s.get('wall_s', 0.0):.2f}s -> {path}]",
+            file=sys.stderr,
+        )
+        _write_metrics_report(
+            metrics_out, kind="sweep-shard", report=shard.report
+        )
+        return 0
+
+    if args.merge_shards:
+        from .parallel import ShardMergeError, load_shard, merge_shards
+
+        try:
+            grid = load_shard(args.merge_shards[0]).grid
+            sweep = merge_shards(args.merge_shards)
+        except ShardMergeError as exc:
+            print(f"cannot merge shards: {exc}", file=sys.stderr)
+            return 2
+        slacks = sorted(grid.slack_values_s)
+        m = sweep.merge
+        print(
+            f"[merged {len(m.shards)} shard(s): {m.grid_points} grid "
+            f"points, slowest shard {m.shard_wall_s:.2f}s, merge "
+            f"{m.merge_wall_s:.3f}s]",
+            file=sys.stderr,
+        )
+        return _print_sweep_surface(args, sweep, slacks, metrics_out)
+
     options = _sweep_options(args)
+
+    if args.shard_workers and args.shard_workers > 1:
+        from .parallel import GridSpec, ShardCoordinator
+
+        grid = GridSpec(
+            matrix_sizes=matrix_sizes,
+            slack_values_s=slacks,
+            threads=threads,
+            iterations=iterations,
+            target_compute_s=args.target_compute,
+        )
+        coordinator = ShardCoordinator(
+            grid, args.shard_workers, options=options
+        )
+        try:
+            sweep = coordinator.run()
+        except RuntimeError as exc:
+            print(f"sharded sweep failed: {exc}", file=sys.stderr)
+            return 1
+        m = sweep.merge
+        print(
+            f"[{args.shard_workers} shard worker(s): coordinator wall "
+            f"{m.coordinator_wall_s:.2f}s, slowest shard "
+            f"{m.shard_wall_s:.2f}s, merge {m.merge_wall_s:.3f}s]",
+            file=sys.stderr,
+        )
+        return _print_sweep_surface(args, sweep, slacks, metrics_out)
+
     common = dict(
         matrix_sizes=matrix_sizes,
         slack_values_s=slacks,
         threads=threads,
         iterations=iterations,
+        target_compute_s=args.target_compute,
         options=options,
     )
     if args.adaptive:
@@ -512,6 +649,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     else:
         sweep = run_slack_sweep(**common)
+    return _print_sweep_surface(args, sweep, slacks, metrics_out)
+
+
+def _print_sweep_surface(
+    args: argparse.Namespace,
+    sweep,
+    slacks,
+    metrics_out: Optional[str],
+) -> int:
+    """Shared sweep-output tail: timing, report, skips, surface table."""
+    from .proxy import SlackResponseSurface
+
     if sweep.timing is not None:
         t = sweep.timing
         print(

@@ -112,6 +112,7 @@ class ExperimentContext:
         faults: Optional[FaultPlan] = UNSET,
         adaptive: bool = UNSET,
         tol: Optional[float] = UNSET,
+        shard_workers: int = 0,
         use_cache: Optional[bool] = None,
     ) -> None:
         if use_cache is not None:
@@ -158,6 +159,18 @@ class ExperimentContext:
             if opts.faults is not None and not opts.faults.is_empty
             else None
         )
+        if shard_workers and shard_workers > 1 and self.adaptive:
+            from ..proxy import ShardingUnsupportedError
+
+            raise ShardingUnsupportedError(
+                "adaptive surfaces cannot be built by shard workers; "
+                "drop shard_workers or adaptive"
+            )
+        #: When > 1, :meth:`surface` executes the sweep as this many
+        #: local shard subprocesses through
+        #: :class:`~repro.parallel.ShardCoordinator` and merges — the
+        #: surface is byte-identical to the in-process sweep.
+        self.shard_workers = int(shard_workers or 0)
         self._surface: Optional[SlackResponseSurface] = None
         self._profiles: Dict[str, AppProfile] = {}
         #: Timing of the sweep that built the surface this process
@@ -195,24 +208,54 @@ class ExperimentContext:
         if cache is not None and cache.exists():
             self._surface = SlackResponseSurface.from_json(cache)
             return self._surface
-        sweep = run_slack_sweep(
-            matrix_sizes=PAPER_MATRIX_SIZES,
-            slack_values_s=PAPER_SLACK_VALUES_S,
-            threads=PAPER_THREAD_COUNTS,
-            iterations=self.sweep_iterations,
-            workers=self.workers,
-            cache=self.point_cache(),
-            fast_forward=self.fast_forward,
-            faults=self.faults,
-            adaptive=self.adaptive,
-            tol=self.tol,
-        )
+        if self.shard_workers > 1 and not self.adaptive:
+            sweep = self._sharded_sweep()
+        else:
+            sweep = run_slack_sweep(
+                matrix_sizes=PAPER_MATRIX_SIZES,
+                slack_values_s=PAPER_SLACK_VALUES_S,
+                threads=PAPER_THREAD_COUNTS,
+                iterations=self.sweep_iterations,
+                workers=self.workers,
+                cache=self.point_cache(),
+                fast_forward=self.fast_forward,
+                faults=self.faults,
+                adaptive=self.adaptive,
+                tol=self.tol,
+            )
         self.sweep_timing = sweep.timing
         self._surface = SlackResponseSurface(sweep)
         if cache is not None:
             cache.parent.mkdir(parents=True, exist_ok=True)
             self._surface.to_json(cache)
         return self._surface
+
+    def _sharded_sweep(self):
+        """Build the surface sweep via local shard subprocesses.
+
+        Byte-identical to the in-process sweep by the merge contract
+        (see :func:`repro.parallel.merge_shards`); the workers share
+        this context's per-point cache through ``REPRO_CACHE_DIR``.
+        """
+        from ..parallel import GridSpec, ShardCoordinator
+
+        grid = GridSpec(
+            matrix_sizes=PAPER_MATRIX_SIZES,
+            slack_values_s=PAPER_SLACK_VALUES_S,
+            threads=PAPER_THREAD_COUNTS,
+            iterations=self.sweep_iterations,
+        )
+        coordinator = ShardCoordinator(
+            grid,
+            self.shard_workers,
+            options=self.options.replace(
+                cache=self.point_cache(),
+                faults=self.faults,
+                adaptive=False,
+                tol=None,
+            ),
+        )
+        return coordinator.run()
 
     def surrogate(self, *, method: str = "loglinear"):
         """A serving surrogate fitted over this context's surface.

@@ -45,6 +45,8 @@ from .publish import (
     publish_link,
     publish_nic,
     publish_service,
+    publish_shard,
+    publish_shard_merge,
     publish_snapshot,
     publish_trace_store,
     simulation_snapshot,
@@ -69,6 +71,8 @@ __all__ = [
     "publish_link",
     "publish_nic",
     "publish_service",
+    "publish_shard",
+    "publish_shard_merge",
     "publish_trace_store",
     "RunReport",
     "RUN_REPORT_SCHEMA_VERSION",

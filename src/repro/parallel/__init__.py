@@ -13,7 +13,13 @@ giving up reproducibility:
   twice, even across partial grids, grid extensions, and interrupted
   sweeps;
 * :func:`measure_point` — the picklable worker function reducing one
-  proxy run to scalar measurements.
+  proxy run to scalar measurements;
+* :mod:`repro.parallel.shards` — the scale-out layer: partition a
+  grid deterministically into shards (:func:`shard_of_task`), run one
+  shard per host/process (:func:`run_sweep_shard`, the ``sweep
+  --shard I/N`` CLI), and reassemble the artifacts into a result
+  byte-identical to the single-host run (:func:`merge_shards`,
+  :class:`ShardCoordinator`).
 """
 
 from .executor import (
@@ -24,6 +30,21 @@ from .executor import (
 )
 from .point import PointMeasurement, PointTask, measure_point
 from .pointcache import POINT_CACHE_VERSION, PointCache, point_key
+from .shards import (
+    GridSpec,
+    SHARD_SCHEMA_VERSION,
+    ShardCoordinator,
+    ShardMergeError,
+    ShardMergeStats,
+    SweepShard,
+    faults_digest,
+    load_shard,
+    merge_shards,
+    options_digest,
+    run_sweep_shard,
+    shard_of_task,
+    write_shard,
+)
 
 __all__ = [
     "SweepExecutor",
@@ -36,4 +57,17 @@ __all__ = [
     "PointCache",
     "point_key",
     "POINT_CACHE_VERSION",
+    "GridSpec",
+    "SHARD_SCHEMA_VERSION",
+    "ShardCoordinator",
+    "ShardMergeError",
+    "ShardMergeStats",
+    "SweepShard",
+    "faults_digest",
+    "load_shard",
+    "merge_shards",
+    "options_digest",
+    "run_sweep_shard",
+    "shard_of_task",
+    "write_shard",
 ]

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
+import os
 from pathlib import Path
 from typing import Optional, Union
 
@@ -37,6 +39,12 @@ __all__ = ["POINT_CACHE_VERSION", "PointCache", "point_key"]
 #: degraded-fabric knob); pre-fault entries must not be mistaken for
 #: healthy measurements of the new keyspace.
 POINT_CACHE_VERSION = "2026.08-4"
+
+#: Per-process temp-name sequence: combined with the pid it makes
+#: every writer's temp file unique, so concurrent writers of the same
+#: entry (worker pools, shard subprocesses, other hosts on a shared
+#: filesystem) never clobber each other's half-written temp.
+_TMP_SEQ = itertools.count()
 
 
 def point_key(
@@ -88,6 +96,10 @@ class PointCache:
         self.misses = 0
         self.corrupt = 0
         self.writes = 0
+        #: Writes lost to a concurrent writer of the same entry (see
+        #: :meth:`put`) — harmless by construction, counted so shared
+        #: caches under multi-shard load stay observable.
+        self.write_races = 0
 
     @property
     def hit_rate(self) -> float:
@@ -142,16 +154,43 @@ class PointCache:
     ) -> Path:
         """Store one measurement; returns the entry's path.
 
-        Writes via a temporary file + rename so a crashed or
-        interrupted sweep never leaves a torn entry behind.
+        Writes via a temporary file + atomic rename so a crashed or
+        interrupted sweep never leaves a torn entry behind. The cache
+        is shared across processes — and, for sharded sweeps, across
+        hosts on a network filesystem — so the write path must survive
+        concurrent writers of the *same* entry: the temp name is
+        unique per writer, and any race on the mkdir/rename
+        (``FileExistsError``, a partial-rename ``OSError`` on
+        non-atomic filesystems) is swallowed and counted in
+        ``write_races``/``pointcache.write_races``. Losing such a race
+        is harmless by construction — the key is content-addressed, so
+        the competing writer stored the same measurement.
         """
         path = self.path_for(config, slack_s, faults)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(measurement.to_doc()))
-        tmp.replace(path)
+        reg = get_registry()
+        tmp: Optional[Path] = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(
+                f"{path.name}.{os.getpid()}-{next(_TMP_SEQ)}.tmp"
+            )
+            tmp.write_text(json.dumps(measurement.to_doc()))
+            tmp.replace(path)
+        except OSError:
+            # FileExistsError from a racing mkdir, or a rename/replace
+            # refused mid-race (network filesystems): the entry either
+            # already holds the identical content or a concurrent
+            # writer is about to complete it.
+            self.write_races += 1
+            reg.counter("pointcache.write_races").inc()
+            if tmp is not None:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            return path
         self.writes += 1
-        get_registry().counter("cache.writes").inc()
+        reg.counter("cache.writes").inc()
         return path
 
     def get_task(self, task: PointTask) -> Optional[PointMeasurement]:

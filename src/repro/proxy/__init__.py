@@ -16,7 +16,12 @@ from .calibration import (
     time_single_kernel,
 )
 from .fastforward import FastForwardInfo
-from .options import SweepOptions, UNSET, resolve_options
+from .options import (
+    ShardingUnsupportedError,
+    SweepOptions,
+    UNSET,
+    resolve_options,
+)
 from .quantize import (
     dedupe_slacks,
     same_slack,
@@ -38,6 +43,9 @@ from .sweep import (
     SweepPoint,
     SweepResult,
     SweepTiming,
+    assemble_sweep_result,
+    grid_series,
+    plan_grid_tasks,
     run_slack_sweep,
 )
 
@@ -55,7 +63,11 @@ __all__ = [
     "ITERATION_FLOOR",
     "ITERATION_CEILING",
     "run_slack_sweep",
+    "plan_grid_tasks",
+    "grid_series",
+    "assemble_sweep_result",
     "SweepOptions",
+    "ShardingUnsupportedError",
     "UNSET",
     "resolve_options",
     "slack_bucket",

@@ -24,13 +24,32 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, TYPE_CHECKING, Union
+from typing import Any, Mapping, Optional, Tuple, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults import FaultPlan
     from ..parallel import PointCache
 
-__all__ = ["SweepOptions", "UNSET", "resolve_options"]
+__all__ = [
+    "ShardingUnsupportedError",
+    "SweepOptions",
+    "UNSET",
+    "resolve_options",
+]
+
+
+class ShardingUnsupportedError(ValueError):
+    """A sweep was asked to shard in a mode that cannot shard.
+
+    Raised for knob combinations the shard engine explicitly refuses —
+    today ``adaptive=True`` with a ``shard`` assignment (adaptive
+    refinement is a sequential decision process over the whole grid;
+    partitioning it by point hash would change which points get
+    measured) — and by entry points that cannot return a partial
+    surface (:func:`repro.proxy.run_slack_sweep` with ``shard`` set;
+    use :func:`repro.parallel.run_sweep_shard` +
+    :func:`repro.parallel.merge_shards` instead).
+    """
 
 #: Sentinel distinguishing "knob not passed" from every real value
 #: (``None`` is a meaningful setting for most knobs).
@@ -55,6 +74,13 @@ class SweepOptions:
     ``adaptive`` / ``tol``
         Error-bounded adaptive refinement instead of the dense grid;
         ``tol`` is only meaningful with ``adaptive=True``.
+    ``shard``
+        ``(index, count)`` assigning this execution one shard of the
+        grid's deterministic hash partition (see
+        :mod:`repro.parallel.shards`). Only the shard entry points
+        (``run_sweep_shard``, the ``sweep --shard I/N`` CLI) consume
+        it; :func:`~repro.proxy.run_slack_sweep` refuses it because a
+        shard is not a full surface.
     """
 
     workers: Optional[int] = 1
@@ -63,6 +89,7 @@ class SweepOptions:
     faults: Optional["FaultPlan"] = None
     adaptive: bool = False
     tol: Optional[float] = None
+    shard: Optional[Tuple[int, int]] = None
 
     def validate(self) -> "SweepOptions":
         """Cross-check the knob combination; returns self."""
@@ -70,6 +97,21 @@ class SweepOptions:
             raise ValueError("workers must be >= 1 (or None for cpu_count)")
         if self.tol is not None and not self.adaptive:
             raise ValueError("tol is only meaningful with adaptive=True")
+        if self.shard is not None:
+            index, count = self.shard
+            if count < 1:
+                raise ValueError("shard count must be >= 1")
+            if not 0 <= index < count:
+                raise ValueError(
+                    f"shard index {index} outside 0..{count - 1}"
+                )
+            if self.adaptive:
+                raise ShardingUnsupportedError(
+                    "adaptive sweeps cannot be sharded: refinement is a "
+                    "sequential decision process over the whole grid "
+                    "(run the adaptive sweep on one host, or shard the "
+                    "dense grid)"
+                )
         return self
 
     def replace(self, **changes: Any) -> "SweepOptions":

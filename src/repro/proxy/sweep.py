@@ -25,12 +25,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 from ..obs import RunReport, get_registry
 from .calibration import calibrate_iterations, time_single_kernel
 from .matmul import ProxyConfig, run_proxy  # noqa: F401
-from .options import SweepOptions, UNSET, resolve_options
+from .options import (
+    ShardingUnsupportedError,
+    SweepOptions,
+    UNSET,
+    resolve_options,
+)
 from .quantize import slack_bucket, slack_tolerance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults import FaultPlan
     from ..parallel import PointCache, SweepExecutor
+    from ..parallel.point import PointMeasurement, PointTask
 
 __all__ = [
     "PAPER_MATRIX_SIZES",
@@ -39,6 +45,9 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepTiming",
+    "assemble_sweep_result",
+    "grid_series",
+    "plan_grid_tasks",
     "run_slack_sweep",
 ]
 
@@ -176,6 +185,11 @@ class SweepResult:
     #: Telemetry snapshot of the sweep (None unless metrics were
     #: enabled via repro.obs when the sweep ran).
     report: Optional[RunReport] = field(default=None, compare=False)
+    #: Shard-merge roll-up (a :class:`repro.parallel.ShardMergeStats`;
+    #: None unless this result came out of
+    #: :func:`repro.parallel.merge_shards`). Excluded from equality:
+    #: a merged result *is* the dense result, telemetry aside.
+    merge: Optional[Any] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # O(1) exact-lookup index plus a rounded-slack secondary index
@@ -234,6 +248,132 @@ class SweepResult:
     def thread_counts(self) -> List[int]:
         """Distinct thread counts measured."""
         return sorted({p.threads for p in self.points})
+
+
+def grid_series(
+    matrix_sizes: Sequence[int], threads: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """``(matrix_size, threads)`` series keys in canonical grid order.
+
+    Threads-major, then matrix size — the historical sequential loop
+    nesting every sweep (dense, adaptive, sharded) must reproduce.
+    """
+    return [(n, t) for t in threads for n in matrix_sizes]
+
+
+def plan_grid_tasks(
+    matrix_sizes: Sequence[int],
+    slack_values_s: Sequence[float],
+    threads: Sequence[int],
+    iterations: Optional[int] = None,
+    target_compute_s: float = 30.0,
+    *,
+    fast_forward: Optional[bool] = None,
+    faults: Optional["FaultPlan"] = None,
+) -> List["PointTask"]:
+    """The canonical task list of one sweep grid.
+
+    Calibration is hoisted out of the per-point workers: the
+    single-kernel duration and the iteration count are computed once
+    per matrix size here, and every point of that size (all thread
+    counts, all slacks) shares them via its task. The resulting
+    iteration count is identical to what per-point calibration would
+    choose (same inputs, same function), and — because the whole
+    derivation is a deterministic mini-simulation — identical on every
+    host, which is what lets shard workers plan the same task list
+    independently (:mod:`repro.parallel.shards`).
+
+    Task order is the grid contract: per :func:`grid_series` entry,
+    the zero-slack baseline followed by the slack values in the order
+    given.
+    """
+    from ..parallel import PointTask
+
+    calibration: Dict[int, Tuple[float, int]] = {}
+    for n in matrix_sizes:
+        if n in calibration:
+            continue
+        probe = ProxyConfig(matrix_size=n, target_compute_s=target_compute_s)
+        kt = time_single_kernel(n, probe.gpu, probe.pcie, probe.dtype_bytes)
+        iters = iterations or calibrate_iterations(
+            kt, target_s=target_compute_s
+        )
+        calibration[n] = (kt, iters)
+
+    tasks: List[PointTask] = []
+    for n, t in grid_series(matrix_sizes, threads):
+        kt, iters = calibration[n]
+        config = ProxyConfig(
+            matrix_size=n,
+            threads=t,
+            iterations=iters,
+            target_compute_s=target_compute_s,
+        )
+        tasks.append(
+            PointTask(
+                config, 0.0, kernel_time_s=kt,
+                fast_forward=fast_forward, faults=faults,
+            )
+        )
+        tasks.extend(
+            PointTask(
+                config, s, kernel_time_s=kt,
+                fast_forward=fast_forward, faults=faults,
+            )
+            for s in slack_values_s
+        )
+    return tasks
+
+
+def assemble_sweep_result(
+    series: Sequence[Tuple[int, int]],
+    slack_values_s: Sequence[float],
+    measurements: Sequence["PointMeasurement"],
+) -> SweepResult:
+    """Reduce ordered point measurements to a :class:`SweepResult`.
+
+    ``measurements`` must follow the task order of
+    :func:`plan_grid_tasks` (per series: baseline, then each slack).
+    This is the one assembly path shared by the dense sweep and the
+    shard merge (:func:`repro.parallel.merge_shards`), which is what
+    makes a merged result byte-identical to the single-host run: both
+    consume identical measurements in identical order through
+    identical code.
+    """
+    result = SweepResult()
+    i = 0
+    for matrix_size, threads in series:
+        baseline = measurements[i]
+        i += 1
+        if not baseline.ok:
+            # The baseline OOMed: the whole series is unmeasurable (its
+            # slack points failed identically) — record the one skip the
+            # sequential sweep records and move past the series.
+            result.skipped.append((matrix_size, threads, baseline.error))
+            i += len(slack_values_s)
+            continue
+        for slack_s in slack_values_s:
+            m = measurements[i]
+            i += 1
+            if not m.ok:
+                # Under a fault plan a single point can fail on its own
+                # (fabric timeout) even though its baseline survived;
+                # record the skip instead of fabricating a zero point.
+                result.skipped.append((matrix_size, threads, m.error))
+                continue
+            result.add(
+                SweepPoint(
+                    matrix_size=matrix_size,
+                    threads=threads,
+                    slack_s=slack_s,
+                    loop_runtime_s=m.loop_runtime_s,
+                    corrected_runtime_s=m.corrected_runtime_s,
+                    baseline_runtime_s=baseline.loop_runtime_s,
+                    iterations=m.iterations,
+                    kernel_time_s=m.kernel_time_s,
+                )
+            )
+    return result
 
 
 #: The historical positional parameter order, kept working through a
@@ -321,7 +461,7 @@ def run_slack_sweep(
     its per-point cache. Call ``adaptive_slack_sweep`` directly to
     also get the measured-only view and per-point error bounds.
     """
-    from ..parallel import PointTask, SweepExecutor
+    from ..parallel import SweepExecutor
 
     if legacy_args:
         if len(legacy_args) > len(_LEGACY_POSITIONAL):
@@ -395,6 +535,13 @@ def run_slack_sweep(
             executor=executor,
         ).dense
 
+    if opts.shard is not None:
+        raise ShardingUnsupportedError(
+            "run_slack_sweep returns a full surface and cannot execute "
+            "one shard; use repro.parallel.run_sweep_shard + "
+            "merge_shards (or repro.parallel.ShardCoordinator)"
+        )
+
     fast_forward = opts.fast_forward
     faults = opts.faults
     if faults is not None and faults.is_empty:
@@ -402,92 +549,22 @@ def run_slack_sweep(
     if faults is not None:
         faults.validate()
 
-    # Hoisted calibration: one kernel-timing mini-simulation and one
-    # iteration-count derivation per matrix size, shared by every
-    # point of that size instead of recomputed in each worker. The
-    # resulting iteration count is identical to what per-point
-    # calibration would choose (same inputs, same function).
-    calibration: Dict[int, Tuple[float, int]] = {}
-    for n in matrix_sizes:
-        if n in calibration:
-            continue
-        probe = ProxyConfig(matrix_size=n, target_compute_s=target_compute_s)
-        kt = time_single_kernel(n, probe.gpu, probe.pcie, probe.dtype_bytes)
-        iters = iterations or calibrate_iterations(
-            kt, target_s=target_compute_s
-        )
-        calibration[n] = (kt, iters)
-
-    # Grid order is the contract: threads-major, then matrix size, then
-    # the baseline followed by the slack values — exactly the historical
-    # sequential loop nesting.
-    configs = [
-        ProxyConfig(
-            matrix_size=n,
-            threads=t,
-            iterations=calibration[n][1],
-            target_compute_s=target_compute_s,
-        )
-        for t in threads
-        for n in matrix_sizes
-    ]
-    tasks: List[PointTask] = []
-    for config in configs:
-        kt = calibration[config.matrix_size][0]
-        tasks.append(
-            PointTask(
-                config, 0.0, kernel_time_s=kt,
-                fast_forward=fast_forward, faults=faults,
-            )
-        )
-        tasks.extend(
-            PointTask(
-                config, s, kernel_time_s=kt,
-                fast_forward=fast_forward, faults=faults,
-            )
-            for s in slack_values_s
-        )
+    tasks = plan_grid_tasks(
+        matrix_sizes,
+        slack_values_s,
+        threads,
+        iterations,
+        target_compute_s,
+        fast_forward=fast_forward,
+        faults=faults,
+    )
 
     ex = executor if executor is not None else SweepExecutor(options=opts)
     measurements = ex.run(tasks)
 
-    result = SweepResult()
-    i = 0
-    for config in configs:
-        baseline = measurements[i]
-        i += 1
-        if not baseline.ok:
-            # The baseline OOMed: the whole series is unmeasurable (its
-            # slack points failed identically) — record the one skip the
-            # sequential sweep records and move past the series.
-            result.skipped.append(
-                (config.matrix_size, config.threads, baseline.error)
-            )
-            i += len(slack_values_s)
-            continue
-        for slack_s in slack_values_s:
-            m = measurements[i]
-            i += 1
-            if not m.ok:
-                # Under a fault plan a single point can fail on its own
-                # (fabric timeout) even though its baseline survived;
-                # record the skip instead of fabricating a zero point.
-                result.skipped.append(
-                    (config.matrix_size, config.threads, m.error)
-                )
-                continue
-            result.add(
-                SweepPoint(
-                    matrix_size=config.matrix_size,
-                    threads=config.threads,
-                    slack_s=slack_s,
-                    loop_runtime_s=m.loop_runtime_s,
-                    corrected_runtime_s=m.corrected_runtime_s,
-                    baseline_runtime_s=baseline.loop_runtime_s,
-                    iterations=m.iterations,
-                    kernel_time_s=m.kernel_time_s,
-                )
-            )
+    result = assemble_sweep_result(
+        grid_series(matrix_sizes, threads), slack_values_s, measurements
+    )
 
     stats = ex.stats
     if stats is not None:

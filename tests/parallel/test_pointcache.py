@@ -251,3 +251,73 @@ class TestCacheStore:
         assert ex.stats.measured == 2 and ex.stats.cached == 0
         ex.run(tasks)
         assert ex.stats.measured == 0 and ex.stats.cached == 2
+
+
+class TestConcurrentWrites:
+    """put() must survive racing writers of the same entry (worker
+    pools, shard subprocesses, shared network filesystems)."""
+
+    CONFIG = ProxyConfig(matrix_size=512, threads=1, iterations=3)
+
+    def test_lost_rename_race_is_counted_not_raised(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        cache = PointCache(tmp_path)
+        m = PointMeasurement(ok=True, loop_runtime_s=1.0)
+
+        def racing_replace(self, target):
+            raise FileExistsError(target)  # non-atomic fs mid-race
+
+        monkeypatch.setattr(Path, "replace", racing_replace)
+        path = cache.put(self.CONFIG, 1e-4, m)  # must not raise
+        assert cache.write_races == 1
+        assert cache.writes == 0
+        # The loser's temp file never litters the store.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+        monkeypatch.undo()
+        assert cache.put(self.CONFIG, 1e-4, m) == path
+        assert cache.writes == 1
+        assert cache.get(self.CONFIG, 1e-4) == m
+
+    def test_race_publishes_write_races_metric(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro.obs import collecting
+
+        cache = PointCache(tmp_path)
+        monkeypatch.setattr(
+            Path, "replace", lambda self, target: (_ for _ in ()).throw(
+                FileExistsError(target)
+            )
+        )
+        with collecting() as reg:
+            cache.put(self.CONFIG, 1e-4, PointMeasurement(ok=True))
+            assert reg.counter("pointcache.write_races").value == 1
+
+    def test_unwritable_store_does_not_crash_the_sweep(
+        self, tmp_path, monkeypatch
+    ):
+        from pathlib import Path
+
+        cache = PointCache(tmp_path)
+        monkeypatch.setattr(
+            Path,
+            "write_text",
+            lambda self, *a, **k: (_ for _ in ()).throw(OSError("full")),
+        )
+        cache.put(self.CONFIG, 1e-4, PointMeasurement(ok=True))
+        assert cache.write_races == 1 and cache.writes == 0
+
+    def test_same_content_writers_converge(self, tmp_path):
+        # Two cache objects (two "hosts") writing the same point: both
+        # succeed, the entry holds the shared content either way.
+        a, b = PointCache(tmp_path), PointCache(tmp_path)
+        m = PointMeasurement(ok=True, loop_runtime_s=2.5)
+        assert a.put(self.CONFIG, 1e-4, m) == b.put(self.CONFIG, 1e-4, m)
+        assert a.get(self.CONFIG, 1e-4) == m
+        assert a.write_races == b.write_races == 0
+
+

@@ -1,0 +1,407 @@
+"""Tests for multi-host sharded sweep execution and merge.
+
+Covers the acceptance contract: any partition of a grid into 1..8
+shards, merged in any order, is bit-identical to the dense single-host
+sweep (points, skips, surface, report meta); overlapping re-runs merge
+idempotently; incompatible or gapped shard sets are refused with a
+typed error listing every problem; adaptive sweeps refuse to shard.
+"""
+
+import dataclasses
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    GridSpec,
+    PointCache,
+    ShardCoordinator,
+    ShardMergeError,
+    SweepShard,
+    load_shard,
+    merge_shards,
+    run_sweep_shard,
+    shard_of_task,
+    write_shard,
+)
+from repro.obs import collecting
+from repro.proxy import (
+    ShardingUnsupportedError,
+    SlackResponseSurface,
+    SweepOptions,
+    run_slack_sweep,
+)
+
+#: Compact grid: 2 sizes x 2 thread counts x (1 baseline + 2 slacks)
+#: = 12 tasks, cheap enough to re-sweep per partition count.
+GRID = GridSpec(
+    matrix_sizes=(512, 1024),
+    slack_values_s=(1e-5, 1e-3),
+    threads=(1, 2),
+    iterations=3,
+)
+
+OPTS = SweepOptions(workers=1, cache=None)
+
+
+@pytest.fixture(scope="module")
+def dense():
+    """The single-host reference every merged result must reproduce."""
+    return run_slack_sweep(
+        matrix_sizes=GRID.matrix_sizes,
+        slack_values_s=GRID.slack_values_s,
+        threads=GRID.threads,
+        iterations=GRID.iterations,
+        options=OPTS,
+    )
+
+
+def run_partition(shard_count, options=OPTS):
+    """Every shard of one partition, executed in-process."""
+    return [
+        run_sweep_shard(GRID, i, shard_count, options=options)
+        for i in range(shard_count)
+    ]
+
+
+class TestPartitioner:
+    def test_tiles_grid_exactly_once(self):
+        tasks = GRID.tasks()
+        assert len(tasks) == GRID.task_count == 12
+        for count in range(1, 9):
+            owners = [shard_of_task(task, count) for task in tasks]
+            assert all(0 <= o < count for o in owners)
+            # Every task belongs to exactly one shard by construction;
+            # together the shards 0..N-1 tile the grid.
+            covered = sum(
+                owners.count(i) for i in range(count)
+            )
+            assert covered == len(tasks)
+
+    def test_partition_is_stable(self):
+        tasks = GRID.tasks()
+        first = [shard_of_task(t, 4) for t in tasks]
+        again = [shard_of_task(t, 4) for t in GRID.tasks()]
+        assert first == again
+
+    def test_grid_spec_digest_and_roundtrip(self):
+        assert GRID.digest() == GridSpec.from_doc(GRID.to_doc()).digest()
+        changed = GridSpec.from_doc(
+            dict(GRID.to_doc(), iterations=4)
+        )
+        assert changed.digest() != GRID.digest()
+
+    def test_point_at_covers_every_index(self):
+        per_series = 1 + len(GRID.slack_values_s)
+        for index in range(GRID.task_count):
+            n, t, slack = GRID.point_at(index)
+            assert n in GRID.matrix_sizes and t in GRID.threads
+            if index % per_series == 0:
+                assert slack is None  # series baseline
+            else:
+                assert slack in GRID.slack_values_s
+
+
+class TestShardDeterminism:
+    """The tentpole property: any partition, any merge order, same bits."""
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 3, 5, 8])
+    def test_merge_bit_identical_to_dense(self, dense, shard_count):
+        shards = run_partition(shard_count)
+        random.Random(shard_count).shuffle(shards)
+        merged = merge_shards(shards)
+        assert merged.points == dense.points
+        assert merged.skipped == dense.skipped
+        assert merged.timing.mode == "sharded"
+        assert merged.merge.grid_points == GRID.task_count
+        assert merged.merge.overlap_points == 0
+
+    def test_surface_bit_identical_to_dense(self, dense):
+        merged = merge_shards(run_partition(3))
+        ours, theirs = SlackResponseSurface(merged), SlackResponseSurface(dense)
+        for t in theirs.thread_counts():
+            assert ours.matrix_sizes(t) == theirs.matrix_sizes(t)
+            for n in theirs.matrix_sizes(t):
+                for s in GRID.slack_values_s:
+                    assert ours.penalty(n, s, t) == theirs.penalty(n, s, t)
+
+    def test_report_meta_identical_to_dense(self):
+        shards = run_partition(2)
+        with collecting():
+            merged = merge_shards(shards)
+        with collecting():
+            dense = run_slack_sweep(
+                matrix_sizes=GRID.matrix_sizes,
+                slack_values_s=GRID.slack_values_s,
+                threads=GRID.threads,
+                iterations=GRID.iterations,
+                options=OPTS,
+            )
+        assert merged.report is not None and dense.report is not None
+        assert merged.report.kind == dense.report.kind == "sweep"
+        # A merged run is the same sweep, only executed elsewhere: the
+        # report meta must not leak where the points were measured.
+        assert merged.report.meta == dense.report.meta
+
+    def test_shard_from_options_shard_knob(self, dense):
+        shards = [
+            run_sweep_shard(GRID, options=OPTS.replace(shard=(i, 2)))
+            for i in range(2)
+        ]
+        assert merge_shards(shards).points == dense.points
+
+    def test_shard_assignment_required(self):
+        with pytest.raises(TypeError, match="shard_index/shard_count"):
+            run_sweep_shard(GRID, options=OPTS)
+
+    def test_shard_index_out_of_range(self):
+        with pytest.raises(ValueError, match="shard index"):
+            run_sweep_shard(GRID, 3, 2, options=OPTS)
+
+
+class TestAdaptiveRefusal:
+    """Adaptive refinement is sequential: sharding it must be a typed no."""
+
+    def test_options_validate_refuses(self):
+        with pytest.raises(ShardingUnsupportedError):
+            SweepOptions(adaptive=True, shard=(0, 2)).validate()
+
+    def test_run_sweep_shard_refuses(self):
+        with pytest.raises(ShardingUnsupportedError):
+            run_sweep_shard(
+                GRID, 0, 2, options=OPTS.replace(adaptive=True)
+            )
+
+    def test_coordinator_refuses(self):
+        with pytest.raises(ShardingUnsupportedError):
+            ShardCoordinator(
+                GRID, 2, options=OPTS.replace(adaptive=True)
+            )
+
+    def test_run_slack_sweep_refuses_shard_knob(self):
+        with pytest.raises(ShardingUnsupportedError, match="full surface"):
+            run_slack_sweep(
+                matrix_sizes=(512,),
+                slack_values_s=(1e-4,),
+                iterations=3,
+                options=OPTS.replace(shard=(0, 2)),
+            )
+
+
+class TestShardArtifact:
+    def test_write_load_roundtrip_bit_exact(self, tmp_path, dense):
+        shards = run_partition(2)
+        loaded = [
+            load_shard(write_shard(s, tmp_path / f"s{s.shard_index}.npz"))
+            for s in shards
+        ]
+        for s, l in zip(shards, loaded):
+            assert np.array_equal(l.index, s.index)
+            for name in s.columns:
+                assert np.array_equal(l.columns[name], s.columns[name])
+            assert l.errors == s.errors
+            assert l.stats == pytest.approx(s.stats)
+            assert l.grid == s.grid
+            assert l.grid_digest == s.grid_digest
+            assert l.options_digest == s.options_digest
+            assert l.point_cache_version == s.point_cache_version
+        assert merge_shards(loaded).points == dense.points
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        shard = run_sweep_shard(GRID, 0, 2, options=OPTS)
+        write_shard(shard, tmp_path / "s.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["s.npz"]
+
+    def test_rewrite_over_existing_artifact(self, tmp_path):
+        shard = run_sweep_shard(GRID, 0, 2, options=OPTS)
+        path = tmp_path / "s.npz"
+        write_shard(shard, path)
+        write_shard(shard, path)  # straggler re-run: same path, no error
+        assert load_shard(path).errors == shard.errors
+
+    def test_load_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ShardMergeError, match="cannot read"):
+            load_shard(tmp_path / "nope.npz")
+
+    def test_load_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(ShardMergeError, match="shard header"):
+            load_shard(path)
+
+    def test_load_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        header = np.frombuffer(
+            json.dumps({"kind": "other-artifact"}).encode(), dtype=np.uint8
+        )
+        np.savez(path, header=header)
+        with pytest.raises(ShardMergeError, match="not a sweep shard"):
+            load_shard(path)
+
+    def test_load_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        header = np.frombuffer(
+            json.dumps(
+                {"kind": "repro-sweep-shard", "schema": 999}
+            ).encode(),
+            dtype=np.uint8,
+        )
+        np.savez(path, header=header)
+        with pytest.raises(ShardMergeError, match="schema"):
+            load_shard(path)
+
+
+class TestMergeValidation:
+    def test_empty_set_rejected(self):
+        with pytest.raises(ShardMergeError, match="no shards"):
+            merge_shards([])
+
+    def test_gap_rejected_with_examples(self):
+        shards = run_partition(3)
+        with pytest.raises(ShardMergeError, match="uncovered"):
+            merge_shards(shards[:2])
+
+    def test_idempotent_overlap_tolerated(self, dense):
+        shards = run_partition(2)
+        rerun = run_sweep_shard(GRID, 0, 2, options=OPTS)
+        merged = merge_shards([*shards, rerun])
+        assert merged.points == dense.points
+        assert merged.merge.overlap_points == len(rerun.index)
+
+    def test_conflicting_overlap_rejected(self):
+        shards = run_partition(2)
+        tampered = dataclasses.replace(
+            shards[0],
+            columns={k: v.copy() for k, v in shards[0].columns.items()},
+        )
+        tampered.columns["loop_runtime_s"][0] += 1.0
+        with pytest.raises(ShardMergeError, match="conflicting measurements"):
+            merge_shards([*shards, tampered])
+
+    def test_grid_digest_mismatch_rejected(self):
+        ours = run_sweep_shard(GRID, 0, 1, options=OPTS)
+        other_grid = GridSpec(
+            matrix_sizes=GRID.matrix_sizes,
+            slack_values_s=GRID.slack_values_s,
+            threads=GRID.threads,
+            iterations=4,
+        )
+        theirs = run_sweep_shard(other_grid, 0, 1, options=OPTS)
+        with pytest.raises(ShardMergeError, match="different grid"):
+            merge_shards([ours, theirs])
+
+    def test_point_cache_version_mismatch_rejected(self):
+        shards = run_partition(2)
+        stale = dataclasses.replace(
+            shards[1], point_cache_version="1999.01-0"
+        )
+        with pytest.raises(ShardMergeError, match="point-cache version"):
+            merge_shards([shards[0], stale])
+
+    def test_options_digest_mismatch_rejected(self):
+        ours = run_sweep_shard(GRID, 0, 2, options=OPTS)
+        theirs = run_sweep_shard(
+            GRID, 1, 2, options=OPTS.replace(fast_forward=False)
+        )
+        with pytest.raises(ShardMergeError, match="measurement options"):
+            merge_shards([ours, theirs])
+
+    def test_out_of_grid_index_rejected(self):
+        shard = run_sweep_shard(GRID, 0, 1, options=OPTS)
+        broken = dataclasses.replace(
+            shard, index=shard.index + GRID.task_count
+        )
+        with pytest.raises(ShardMergeError, match="outside the grid"):
+            merge_shards([broken])
+
+    def test_all_problems_reported_at_once(self):
+        """One failed merge lists every incompatibility, not the first."""
+        shards = run_partition(2)
+        stale = dataclasses.replace(
+            shards[1],
+            point_cache_version="1999.01-0",
+            options_digest="deadbeef",
+        )
+        with pytest.raises(ShardMergeError) as excinfo:
+            merge_shards([shards[0], stale])
+        message = str(excinfo.value)
+        assert "point-cache version" in message
+        assert "measurement options" in message
+
+
+class TestSharedCache:
+    def test_shards_populate_one_coherent_store(self, tmp_path, dense):
+        cache = PointCache(tmp_path / "points")
+        opts = OPTS.replace(cache=cache)
+        first = run_partition(2, options=opts)
+        assert sum(s.stats["cache_writes"] for s in first) == GRID.task_count
+
+        # A dense sweep over the same store re-measures nothing...
+        warm = run_slack_sweep(
+            matrix_sizes=GRID.matrix_sizes,
+            slack_values_s=GRID.slack_values_s,
+            threads=GRID.threads,
+            iterations=GRID.iterations,
+            options=opts,
+        )
+        assert warm.timing.measured == 0
+        assert warm.points == dense.points
+
+        # ... and a straggler shard re-run resolves entirely from it.
+        rerun = run_sweep_shard(GRID, 0, 2, options=opts)
+        assert rerun.stats["cached"] == rerun.stats["tasks"]
+        assert merge_shards([rerun, first[1]]).points == dense.points
+
+
+class TestShardCoordinator:
+    def test_command_for_shard_is_the_wire_protocol(self, tmp_path):
+        coordinator = ShardCoordinator(GRID, 3, options=OPTS)
+        cmd = coordinator.command_for_shard(1, tmp_path / "s.npz")
+        assert "repro" in cmd and "sweep" in cmd
+        assert cmd[cmd.index("--shard") + 1] == "1/3"
+        assert cmd[cmd.index("--shard-out") + 1] == str(tmp_path / "s.npz")
+        assert "--no-cache" in cmd  # cache=None must not touch the repo store
+        assert "--workers" not in cmd  # workers=1 is the worker default
+
+    def test_worker_env_exports_shared_cache(self, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        coordinator = ShardCoordinator(
+            GRID, 2, options=OPTS.replace(cache=cache)
+        )
+        env = coordinator.worker_env()
+        assert env["REPRO_CACHE_DIR"] == str(tmp_path)
+        assert "PYTHONPATH" in env
+
+    def test_worker_env_refuses_unshareable_cache_layout(self, tmp_path):
+        cache = PointCache(tmp_path / "elsewhere")
+        coordinator = ShardCoordinator(
+            GRID, 2, options=OPTS.replace(cache=cache)
+        )
+        with pytest.raises(ValueError, match="REPRO_CACHE_DIR"):
+            coordinator.worker_env()
+
+    def test_shard_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            ShardCoordinator(GRID, 0, options=OPTS)
+
+    def test_subprocess_run_matches_dense(self, tmp_path, dense):
+        """End-to-end: real worker subprocesses, artifacts, merge."""
+        coordinator = ShardCoordinator(
+            GRID, 2, options=OPTS, shard_dir=tmp_path
+        )
+        merged = coordinator.run()
+        assert merged.points == dense.points
+        assert merged.skipped == dense.skipped
+        assert sorted(merged.merge.subprocess_wall_s) == [0, 1]
+        assert merged.merge.coordinator_wall_s > 0
+        assert coordinator.merge_stats is merged.merge
+        # Artifacts stay in place for re-merge / post-mortem.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "shard-000-of-2.npz",
+            "shard-001-of-2.npz",
+        ]
+        assert merge_shards(
+            sorted(tmp_path.iterdir())
+        ).points == dense.points
