@@ -57,10 +57,19 @@ proxy methodology
     :class:`ProxyConfig`, :class:`ProxyResult`, :func:`run_proxy`,
     :class:`FastForwardInfo` (the ``result.fastforward`` record of the
     steady-state fast-forward engine).
-application models
+application models & registry
     :class:`LJParams`, :class:`LammpsScalingModel`,
     :class:`LammpsProfileConfig`, :func:`profile_lammps`,
-    :class:`CosmoFlowProfileConfig`, :func:`profile_cosmoflow`.
+    :class:`CosmoFlowProfileConfig`, :func:`profile_cosmoflow`,
+    :class:`CpuOnlyProfileConfig` / :func:`profile_cpuonly`, the LLM
+    inference-serving workload (:class:`LLMSpec`,
+    :class:`InferenceProfileConfig`, :func:`run_inference` /
+    :func:`profile_inference`, :func:`measure_slo_response` /
+    :func:`predict_slo_response` for the latency-SLO penalty — see
+    ``docs/workloads.md``), and the app registry
+    (:class:`RegisteredApp`, :func:`get_app`, :func:`registered_apps`,
+    :func:`app_names`) that ``ExperimentContext``, the CLI and the
+    conformance tests enumerate workloads from.
 fault injection
     :class:`FaultPlan` and its event taxonomy (:class:`LatencySpike`,
     :class:`CongestionEpisode`, :class:`LinkFlap`,
@@ -103,11 +112,29 @@ from . import __version__
 from .apps import (
     AppProfileCache,
     CosmoFlowProfileConfig,
+    CpuOnlyProfileConfig,
+    InferenceProfileConfig,
+    InferenceRunResult,
     LammpsProfileConfig,
     LammpsScalingModel,
     LJParams,
+    LLMSpec,
+    PenaltyMetric,
+    RegisteredApp,
+    SLOReport,
+    SLOResponse,
+    app_names,
+    get_app,
+    measure_slo_response,
+    phase_profile,
+    predict_slo_response,
     profile_cosmoflow,
+    profile_cpuonly,
+    profile_inference,
     profile_lammps,
+    register_app,
+    registered_apps,
+    run_inference,
 )
 from .des import Environment
 from .experiments import ExperimentContext, run_all, run_experiment
@@ -237,13 +264,31 @@ __all__ = [
     "ProxyResult",
     "FastForwardInfo",
     "run_proxy",
-    # application models
+    # application models & registry
     "LJParams",
     "LammpsScalingModel",
     "LammpsProfileConfig",
     "profile_lammps",
     "CosmoFlowProfileConfig",
     "profile_cosmoflow",
+    "CpuOnlyProfileConfig",
+    "profile_cpuonly",
+    "LLMSpec",
+    "InferenceProfileConfig",
+    "InferenceRunResult",
+    "SLOReport",
+    "SLOResponse",
+    "run_inference",
+    "profile_inference",
+    "measure_slo_response",
+    "phase_profile",
+    "predict_slo_response",
+    "RegisteredApp",
+    "PenaltyMetric",
+    "register_app",
+    "get_app",
+    "registered_apps",
+    "app_names",
     # fault injection
     "FaultPlan",
     "LatencySpike",

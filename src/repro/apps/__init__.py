@@ -1,8 +1,14 @@
-"""Production application models: LAMMPS (CPU-heavy) and CosmoFlow
-(GPU-dominant), the two workload archetypes the paper profiles."""
+"""Production application models: LAMMPS (CPU-heavy), CosmoFlow
+(GPU-dominant), the CPU-only category, and LLM inference serving
+(latency-sensitive) — enumerated uniformly by the app registry."""
 
 from .base import AppProfile, ApplicationModel
-from .cpuonly import CpuOnlyApp, trapped_gpu_analysis
+from .cpuonly import (
+    CpuOnlyApp,
+    CpuOnlyProfileConfig,
+    profile_cpuonly,
+    trapped_gpu_analysis,
+)
 from .profilecache import PROFILE_CACHE_VERSION, AppProfileCache, profile_key
 from .cosmoflow import (
     COSMOFLOW_REQUIRED_CORES,
@@ -17,6 +23,27 @@ from .lammps import (
     LammpsScalingModel,
     PAPER_BOX_SIZES,
     profile_lammps,
+)
+from .inference import (
+    InferenceProfileConfig,
+    InferenceRunResult,
+    LLMSpec,
+    SLOReport,
+    SLOResponse,
+    measure_slo_response,
+    phase_profile,
+    predict_slo_response,
+    profile_inference,
+    run_inference,
+)
+from .registry import (
+    PenaltyMetric,
+    RegisteredApp,
+    app_model_version,
+    app_names,
+    get_app,
+    register_app,
+    registered_apps,
 )
 
 __all__ = [
@@ -36,5 +63,24 @@ __all__ = [
     "cosmoflow_cpu_runtime",
     "COSMOFLOW_REQUIRED_CORES",
     "CpuOnlyApp",
+    "CpuOnlyProfileConfig",
+    "profile_cpuonly",
     "trapped_gpu_analysis",
+    "LLMSpec",
+    "InferenceProfileConfig",
+    "InferenceRunResult",
+    "SLOReport",
+    "SLOResponse",
+    "run_inference",
+    "profile_inference",
+    "measure_slo_response",
+    "phase_profile",
+    "predict_slo_response",
+    "PenaltyMetric",
+    "RegisteredApp",
+    "register_app",
+    "get_app",
+    "registered_apps",
+    "app_names",
+    "app_model_version",
 ]

@@ -14,8 +14,10 @@ effect for a mixed job stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..cdi import (
     CDIScheduler,
@@ -26,8 +28,16 @@ from ..cdi import (
     ScheduleOutcome,
     TraditionalScheduler,
 )
+from ..des import Environment, Event, quantize
+from ..des.fastforward import FastForwardInfo
+from .base import AppProfile, publish_fastforward
 
-__all__ = ["CpuOnlyApp", "trapped_gpu_analysis"]
+__all__ = [
+    "CpuOnlyApp",
+    "CpuOnlyProfileConfig",
+    "profile_cpuonly",
+    "trapped_gpu_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +76,87 @@ class CpuOnlyApp:
             cores=cores if cores is not None else self.best_core_count(),
             gpus=0,
         )
+
+
+@dataclass(frozen=True)
+class CpuOnlyProfileConfig:
+    """Configuration of one traced CPU-only run.
+
+    The profile exists so the registry/conformance contract covers the
+    paper's third application category uniformly: the run executes on
+    the simulator clock (iteration timeouts on the dyadic grid), but —
+    as Section III-D observes — issues **no** CUDA calls, so its trace
+    is empty and its slack sensitivity identically zero.
+    """
+
+    app: CpuOnlyApp = field(default_factory=CpuOnlyApp)
+    cores: int = 48
+    iterations: int = 50
+    jitter: float = 0.0
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+def profile_cpuonly(
+    config: Optional[CpuOnlyProfileConfig] = None,
+    slack: Optional[Any] = None,
+    *,
+    fast_forward: Optional[bool] = None,
+    faults: Optional[Any] = None,
+) -> AppProfile:
+    """Run the traced CPU-only solver and return its (traceless) profile.
+
+    Signature-compatible with the GPU apps' profilers so the registry
+    can treat every workload uniformly. ``slack`` and ``faults`` are
+    accepted and inert — there is no accelerator for either to act on
+    — and steady-state fast-forward always refuses with
+    ``reason="cpu-only"`` (nothing device-side to certify), recorded
+    on the profile like any other gate.
+    """
+    from ..trace.store import ColumnarTrace
+
+    config = config or CpuOnlyProfileConfig()
+    env = Environment()
+    rng = np.random.default_rng(config.seed)
+    step_s = config.app.runtime(config.cores) / config.iterations
+
+    def jittered(mean: float) -> float:
+        if config.jitter == 0:
+            return mean
+        sigma = np.sqrt(np.log(1 + config.jitter**2))
+        return float(rng.lognormal(np.log(mean) - sigma**2 / 2, sigma))
+
+    def solver() -> Generator[Event, Any, float]:
+        t0 = env.now
+        for _ in range(config.iterations):
+            yield env.timeout(quantize(jittered(step_s)))
+        return env.now - t0
+
+    main_proc = env.process(solver(), name="cpuonly-main")
+    env.run()
+
+    enabled = True if fast_forward is None else bool(fast_forward)
+    info = FastForwardInfo(
+        enabled=enabled,
+        certified=False,
+        reason="disabled" if not enabled else "cpu-only",
+    )
+    publish_fastforward(info)
+    return AppProfile(
+        name="cpuonly",
+        trace=ColumnarTrace(name="cpuonly"),
+        runtime_s=float(main_proc.value),
+        queue_parallelism=1,
+        cuda_calls_per_second=0.0,
+        fastforward=info,
+    )
 
 
 def trapped_gpu_analysis(

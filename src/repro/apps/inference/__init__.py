@@ -1,0 +1,56 @@
+"""LLM inference serving: the latency-sensitive production workload.
+
+See :mod:`repro.apps.inference.serving` for the DES,
+:mod:`repro.apps.inference.slo` for the latency-SLO penalty layer.
+"""
+
+from .arrivals import Request, generate_requests
+from .batcher import BatchQueue
+from .llm import LLMSpec
+from .serving import (
+    BatchRecord,
+    InferenceProfileConfig,
+    InferenceRunResult,
+    PHASE_DECODE,
+    PHASE_KV,
+    PHASE_MISC,
+    PHASE_PREFILL,
+    RequestRecord,
+    SLOReport,
+    profile_inference,
+    run_inference,
+)
+from .slo import (
+    PredictedSLOResponse,
+    SLOResponse,
+    TPOT_SERIES,
+    TTFT_SERIES,
+    measure_slo_response,
+    phase_profile,
+    predict_slo_response,
+)
+
+__all__ = [
+    "LLMSpec",
+    "Request",
+    "generate_requests",
+    "BatchQueue",
+    "InferenceProfileConfig",
+    "InferenceRunResult",
+    "RequestRecord",
+    "BatchRecord",
+    "SLOReport",
+    "run_inference",
+    "profile_inference",
+    "PHASE_PREFILL",
+    "PHASE_DECODE",
+    "PHASE_KV",
+    "PHASE_MISC",
+    "SLOResponse",
+    "PredictedSLOResponse",
+    "measure_slo_response",
+    "phase_profile",
+    "predict_slo_response",
+    "TTFT_SERIES",
+    "TPOT_SERIES",
+]

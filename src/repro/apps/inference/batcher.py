@@ -1,0 +1,59 @@
+"""Dynamic-batching admission queue.
+
+:class:`BatchQueue` is the frontend's FIFO between the arrival process
+and the engine loop: arrivals are *admitted* in rid order, the engine
+*pops* up to ``max_batch_size`` requests when its batching window
+closes. The class is deliberately DES-free (plain deque + counters) so
+its invariants — batches never exceed the cap, admission order is
+never reordered, served eventually equals admitted — are directly
+checkable by the property tests, while the window/deadline policy
+lives in the serving loop that owns simulated time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .arrivals import Request
+
+__all__ = ["BatchQueue"]
+
+
+class BatchQueue:
+    """FIFO request queue with admission/served/depth accounting."""
+
+    def __init__(self) -> None:
+        self._pending: Deque["Request"] = deque()
+        #: Requests admitted by the arrival process so far.
+        self.admitted = 0
+        #: Requests handed to the engine in popped batches so far.
+        self.served = 0
+        #: Deepest the queue has ever been (admission high-water mark).
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def admit(self, request: "Request") -> None:
+        """Enqueue one arrived request (called in arrival order)."""
+        self._pending.append(request)
+        self.admitted += 1
+        if len(self._pending) > self.high_water:
+            self.high_water = len(self._pending)
+
+    def pop_batch(self, max_batch_size: int) -> List["Request"]:
+        """Dequeue the next batch: the oldest ≤ ``max_batch_size`` requests."""
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        batch: List["Request"] = []
+        while self._pending and len(batch) < max_batch_size:
+            batch.append(self._pending.popleft())
+        self.served += len(batch)
+        return batch
+
+    @property
+    def drained(self) -> bool:
+        """True once every admitted request has been handed out."""
+        return self.served == self.admitted and not self._pending

@@ -33,7 +33,7 @@ __all__ = ["PROFILE_CACHE_VERSION", "AppProfileCache", "profile_key"]
 
 #: Bump whenever app-model or simulator changes alter what a profiling
 #: run records — stale traces must not survive a behavioral change.
-PROFILE_CACHE_VERSION = "2026.08-6"
+PROFILE_CACHE_VERSION = "2026.08-9"
 
 
 def profile_key(
@@ -42,14 +42,20 @@ def profile_key(
     """Stable content hash identifying one profiling run.
 
     ``config`` must be a (frozen) config dataclass; the key covers the
-    app name, every config field and the cache version tag. JSON with
+    app name, the app's registered model version (see
+    :func:`repro.apps.registry.app_model_version` — revising one
+    workload's kernel mix invalidates only that workload's entries),
+    every config field and the cache-wide version tag. JSON with
     sorted keys keeps the digest stable across processes; floats
     round-trip exactly through ``repr`` so distinct configs never
     collide.
     """
+    from .registry import app_model_version
+
     payload = json.dumps(
         {
             "app": app,
+            "app_model_version": app_model_version(app),
             "config": dataclasses.asdict(config),
             "version": version,
         },

@@ -8,8 +8,11 @@ Subcommands:
   (``--chart`` adds ASCII line charts, ``--output`` writes Markdown);
 * ``all`` — regenerate everything;
 * ``slack <seconds>`` — quick slack-to-distance conversion;
-* ``profile {lammps,cosmoflow}`` — trace an application model and
-  predict its slack penalty (optionally exporting the trace);
+* ``profile <app>`` — trace any registered application model (see
+  :mod:`repro.apps.registry`: lammps, cosmoflow, cpuonly, inference)
+  and predict its slack penalty — normalized runtime for the batch
+  apps, measured + predicted TTFT/TPOT inflation for the
+  latency-SLO inference workload (optionally exporting the trace);
 * ``sweep`` — measure a slack response surface on a custom grid
   (``--faults SPEC`` degrades the fabric, see docs/faults.md;
   ``--adaptive [--tol PEN]`` measures a seed and refines only where
@@ -86,11 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     slack_p = sub.add_parser("slack", help="slack <-> fibre distance")
     slack_p.add_argument("seconds", type=float, help="one-way slack in seconds")
 
+    from .apps.registry import app_names
+
     prof_p = sub.add_parser(
         "profile", help="trace an application and predict its slack penalty"
     )
-    prof_p.add_argument("app", choices=["lammps", "cosmoflow"],
-                        help="application model to profile")
+    prof_p.add_argument("app", choices=list(app_names()),
+                        help="application model to profile (from the "
+                             "app registry)")
     prof_p.add_argument("--slack", type=float, action="append",
                         metavar="SECONDS", dest="slacks",
                         help="slack value(s) to predict at "
@@ -404,16 +410,15 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    """Trace one application model and predict its slack penalty."""
+    """Trace one registered application and predict its slack penalty."""
+    from .apps.registry import get_app
     from .model import CDIProfiler
     from .proxy import PAPER_SLACK_VALUES_S
     from .trace import to_json
 
+    app = get_app(args.app)
     ctx = ExperimentContext(quick=not args.full)
-    profile = (
-        ctx.lammps_profile() if args.app == "lammps"
-        else ctx.cosmoflow_profile()
-    )
+    profile = ctx.app_profile(args.app)
     kernels = profile.trace.kernels()
     copies = profile.trace.memcpys()
     print(f"{profile.name}: {len(kernels)} kernels, {len(copies)} memcpys, "
@@ -431,12 +436,43 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         to_json(profile.trace, args.trace_out)
         print(f"trace written to {args.trace_out}")
 
-    profiler = CDIProfiler(ctx.surface())
+    if app.penalty.kind == "none":
+        print("no accelerator: slack penalty identically zero (Sec III-D)")
+        return 0
+
     slacks = args.slacks or list(PAPER_SLACK_VALUES_S)
     for slack in slacks:
         if slack < 0:
             print("slack must be non-negative", file=sys.stderr)
             return 2
+    profiler = CDIProfiler(ctx.surface())
+
+    if app.penalty.kind == "latency-slo":
+        from .apps.inference import measure_slo_response, predict_slo_response
+
+        positive = sorted(s for s in slacks if s > 0)
+        resp = measure_slo_response(ctx.app_config(args.app), positive)
+        print(f"measured SLO inflation vs zero-slack baseline "
+              f"(p99 TTFT {resp.baseline.ttft_p99_s * 1e3:.1f} ms, "
+              f"mean TPOT {resp.baseline.tpot_mean_s * 1e3:.2f} ms):")
+        print(f"{'slack [us]':>12}  {'TTFT [%]':>10}  {'TPOT [%]':>10}")
+        for s, ttft, tpot in zip(
+            resp.slack_values_s, resp.ttft_penalty, resp.tpot_penalty
+        ):
+            print(f"{s * 1e6:12.1f}  {ttft * 100:10.4f}  {tpot * 100:10.4f}")
+        pred = predict_slo_response(profiler, profile, positive)
+        print("predicted per-phase starvation bounds (unchanged "
+              "Equations 2-3) + first-order direct delay:")
+        print(f"{'slack [us]':>12}  {'prefill [%]':>22}  "
+              f"{'decode [%]':>22}  {'decode direct [%]':>18}")
+        for s in positive:
+            pre, dec = pred.prefill[s], pred.decode[s]
+            print(f"{s * 1e6:12.1f}  "
+                  f"{pre.lower_percent:10.4f}-{pre.upper_percent:<10.4f}  "
+                  f"{dec.lower_percent:10.4f}-{dec.upper_percent:<10.4f}  "
+                  f"{pred.decode_direct[s] * 100:18.4f}")
+        return 0
+
     # One vectorized pass over the whole slack grid (bit-identical to
     # per-slack predict calls, see repro.model.reference).
     predictions = profiler.predict_sweep(profile, sorted(slacks))

@@ -25,15 +25,10 @@ import warnings
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
-from ..apps import (
-    CosmoFlowProfileConfig,
-    LammpsProfileConfig,
-    profile_cosmoflow,
-    profile_lammps,
-)
+from ..apps import CosmoFlowProfileConfig, LammpsProfileConfig
 from ..apps.base import AppProfile
-from ..apps.lammps import LJParams
 from ..apps.profilecache import AppProfileCache
+from ..apps.registry import app_names, get_app
 from ..faults import FaultPlan
 from ..obs import publish_trace_store
 from ..parallel import PointCache
@@ -305,18 +300,32 @@ class ExperimentContext:
         return self._cache_base() / f"surface-{digest}.json"
 
     # -- application profiles ------------------------------------------------------
+    def app_config(self, name: str):
+        """The registered app's experiment-grade profiling configuration.
+
+        Resolved through :mod:`repro.apps.registry`, honouring this
+        context's ``quick`` knob — for ``lammps``/``cosmoflow`` these
+        are the historical configurations bit for bit.
+        """
+        return get_app(name).default_config(self.quick)
+
+    def app_profile(self, name: str) -> AppProfile:
+        """Any registered app's traced profile (memoized + disk-cached)."""
+        return self._profile(
+            name, self.app_config(name), get_app(name).profiler
+        )
+
+    def app_profiles(self) -> Dict[str, AppProfile]:
+        """Every registered app's profile, keyed by name."""
+        return {name: self.app_profile(name) for name in app_names()}
+
     def lammps_config(self) -> LammpsProfileConfig:
         """The LAMMPS profiling configuration (box 120, 8 ranks)."""
-        steps = 500 if self.quick else 5000
-        return LammpsProfileConfig(params=LJParams(120, steps=steps))
+        return self.app_config("lammps")
 
     def cosmoflow_config(self) -> CosmoFlowProfileConfig:
         """The CosmoFlow profiling configuration (mini dataset, batch 4)."""
-        if self.quick:
-            return CosmoFlowProfileConfig(
-                epochs=1, train_samples=256, val_samples=256
-            )
-        return CosmoFlowProfileConfig()
+        return self.app_config("cosmoflow")
 
     def profile_cache(self) -> Optional[AppProfileCache]:
         """The traced-profile store (None when caching is disabled).
@@ -345,14 +354,16 @@ class ExperimentContext:
 
     def lammps_profile(self) -> AppProfile:
         """Traced LAMMPS profile (memoized + disk-cached)."""
-        return self._profile("lammps", self.lammps_config(), profile_lammps)
+        return self.app_profile("lammps")
 
     def cosmoflow_profile(self) -> AppProfile:
         """Traced CosmoFlow profile (memoized + disk-cached)."""
-        return self._profile(
-            "cosmoflow", self.cosmoflow_config(), profile_cosmoflow
-        )
+        return self.app_profile("cosmoflow")
+
+    def inference_profile(self) -> AppProfile:
+        """Traced inference-serving profile (memoized + disk-cached)."""
+        return self.app_profile("inference")
 
     def profiles(self) -> Tuple[AppProfile, AppProfile]:
-        """Both application profiles."""
+        """The paper's two batch-application profiles."""
         return self.lammps_profile(), self.cosmoflow_profile()

@@ -42,6 +42,7 @@ from .metrics import (
 )
 from .publish import (
     publish_executor,
+    publish_inference,
     publish_link,
     publish_nic,
     publish_service,
@@ -68,6 +69,7 @@ __all__ = [
     "simulation_snapshot",
     "publish_snapshot",
     "publish_executor",
+    "publish_inference",
     "publish_link",
     "publish_nic",
     "publish_service",

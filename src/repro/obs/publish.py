@@ -39,6 +39,7 @@ __all__ = [
     "simulation_snapshot",
     "publish_snapshot",
     "publish_executor",
+    "publish_inference",
     "publish_link",
     "publish_nic",
     "publish_service",
@@ -169,6 +170,56 @@ def publish_trace_store(
     reg.counter("trace.store.interned_names").inc(stats["interned_names"])
     peak = reg.gauge("trace.store.peak_bytes")
     peak.set(max(peak.value, stats["bytes"]))
+
+
+def publish_inference(
+    result: Any,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Publish one serving run under ``apps.inference.*``.
+
+    ``result`` is a :class:`repro.apps.inference.InferenceRunResult`.
+    Counters accumulate requests/batches/tokens and SLO violations
+    across runs; per-request TTFT/TPOT and per-batch occupancy/queue
+    depth land in histograms; ``apps.inference.queue_high_water``
+    max-merges into a gauge. Called once per run from
+    :func:`repro.apps.inference.run_inference` — the snapshot idiom of
+    every other layer, nothing on the DES hot path.
+    """
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    slo = result.slo
+    reg.counter("apps.inference.runs").inc()
+    reg.counter("apps.inference.requests").inc(slo.requests)
+    reg.counter("apps.inference.batches").inc(len(result.batches))
+    reg.counter("apps.inference.ttft_violations").inc(slo.ttft_violations)
+    reg.counter("apps.inference.tpot_violations").inc(slo.tpot_violations)
+    reg.counter("apps.inference.prefill_tokens").inc(
+        sum(b.prefill_tokens for b in result.batches)
+    )
+    reg.counter("apps.inference.decode_steps").inc(
+        sum(b.decode_steps for b in result.batches)
+    )
+    reg.counter("apps.inference.kv_spilled_bytes").inc(
+        sum(b.kv_spilled_bytes for b in result.batches)
+    )
+    reg.counter("apps.inference.kv_restored_bytes").inc(
+        sum(b.kv_restored_bytes for b in result.batches)
+    )
+    ttft = reg.histogram("apps.inference.ttft_s")
+    tpot = reg.histogram("apps.inference.tpot_s")
+    for req in result.requests:
+        ttft.observe(req.ttft_s)
+        if req.tpot_s is not None:
+            tpot.observe(req.tpot_s)
+    occupancy = reg.histogram("apps.inference.batch_occupancy")
+    depth = reg.histogram("apps.inference.queue_depth")
+    for batch in result.batches:
+        occupancy.observe(batch.size)
+        depth.observe(batch.queue_depth)
+    high_water = reg.gauge("apps.inference.queue_high_water")
+    high_water.set(max(high_water.value, result.queue_high_water))
 
 
 #: Serving stats that are high-water marks, not additive totals: they

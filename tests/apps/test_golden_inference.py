@@ -1,0 +1,132 @@
+"""Golden artifacts for the inference-serving workload.
+
+Two checked-in files pin the healthy path byte for byte:
+
+* ``golden_inference_profile.json`` — the full profile document
+  (name, runtime, call rate, every trace event) of one tiny fixed
+  config, exactly as :class:`~repro.apps.AppProfileCache` would store
+  it. A mismatch means the serving DES *behavior* changed.
+* ``golden_inference_runreport.json`` — the deterministic projection
+  of a metrics-on run's :class:`~repro.obs.RunReport`: the complete
+  ``apps.inference`` section plus the SLO scalars. Wall-clock
+  sections (``des`` heap stats, timer histograms) are machine-
+  dependent and deliberately excluded; everything in the golden file
+  is covered by the determinism contract.
+
+Regenerate after an intentional behavior change with::
+
+    PYTHONPATH=src python tests/apps/test_golden_inference.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.apps.inference import (
+    InferenceProfileConfig,
+    profile_inference,
+    run_inference,
+)
+from repro.apps.profilecache import _profile_doc
+from repro.obs import RunReport, collecting
+
+HERE = Path(__file__).parent
+GOLDEN_PROFILE = HERE / "golden_inference_profile.json"
+GOLDEN_REPORT = HERE / "golden_inference_runreport.json"
+
+#: The registry's conformance config, spelled out so the golden files
+#: do not silently move when the registry's defaults do.
+CONFIG = InferenceProfileConfig(
+    num_requests=8, prompt_tokens_mean=64, decode_tokens_mean=12
+)
+
+REGEN_HINT = (
+    "golden file missing — regenerate with: "
+    "PYTHONPATH=src python tests/apps/test_golden_inference.py"
+)
+
+
+def _profile_text() -> str:
+    profile = profile_inference(CONFIG)
+    return json.dumps(_profile_doc(profile), indent=1, sort_keys=True) + "\n"
+
+
+def _report_projection() -> dict:
+    """The deterministic slice of a metrics-on serving run."""
+    with collecting() as reg:
+        result = run_inference(CONFIG)
+        report = RunReport.collect(
+            reg, kind="inference", meta={"config": "conformance"}
+        )
+    slo = result.slo
+    apps = report.metrics["apps.inference"]
+    return {
+        "kind": report.kind,
+        "meta": report.meta,
+        "apps": apps,
+        "slo": {
+            "requests": slo.requests,
+            "makespan_s": slo.makespan_s,
+            "ttft_p50_s": slo.ttft_p50_s,
+            "ttft_p99_s": slo.ttft_p99_s,
+            "ttft_max_s": slo.ttft_max_s,
+            "tpot_mean_s": slo.tpot_mean_s,
+            "tpot_p99_s": slo.tpot_p99_s,
+            "ttft_violations": slo.ttft_violations,
+            "tpot_violations": slo.tpot_violations,
+        },
+    }
+
+
+def _report_text() -> str:
+    return json.dumps(_report_projection(), indent=1, sort_keys=True) + "\n"
+
+
+class TestGoldenProfile:
+    def test_profile_matches_golden_bit_for_bit(self):
+        assert GOLDEN_PROFILE.exists(), REGEN_HINT
+        assert _profile_text() == GOLDEN_PROFILE.read_text()
+
+
+class TestGoldenRunReport:
+    def test_report_matches_golden_bit_for_bit(self):
+        assert GOLDEN_REPORT.exists(), REGEN_HINT
+        assert _report_text() == GOLDEN_REPORT.read_text()
+
+    def test_projection_schema(self):
+        doc = _report_projection()
+        apps = doc["apps"]
+        # Every published apps.inference.* metric is present, under
+        # its section-relative name.
+        for metric in (
+            "runs",
+            "requests",
+            "batches",
+            "ttft_violations",
+            "tpot_violations",
+            "prefill_tokens",
+            "decode_steps",
+            "kv_spilled_bytes",
+            "kv_restored_bytes",
+            "ttft_s",
+            "tpot_s",
+            "batch_occupancy",
+            "queue_depth",
+            "queue_high_water",
+        ):
+            assert metric in apps, metric
+        assert apps["runs"] == 1
+        assert apps["requests"] == CONFIG.num_requests
+        assert apps["ttft_s"]["count"] == CONFIG.num_requests
+        assert doc["slo"]["requests"] == CONFIG.num_requests
+
+    def test_metrics_off_publishes_nothing(self):
+        # The default path stays unobserved: no registry, no cost.
+        result = run_inference(CONFIG)
+        assert result.slo.requests == CONFIG.num_requests
+
+
+if __name__ == "__main__":
+    GOLDEN_PROFILE.write_text(_profile_text())
+    GOLDEN_REPORT.write_text(_report_text())
+    print(f"wrote {GOLDEN_PROFILE}")
+    print(f"wrote {GOLDEN_REPORT}")
