@@ -70,6 +70,17 @@ application models & registry
     (:class:`RegisteredApp`, :func:`get_app`, :func:`registered_apps`,
     :func:`app_names`) that ``ExperimentContext``, the CLI and the
     conformance tests enumerate workloads from.
+fleet-scale CDI simulation
+    :class:`ClusterSpec`, :class:`SimJob`, the scalar reference twins
+    :func:`simulate_traditional` / :func:`simulate_cdi` and
+    :func:`synthetic_job_mix`, plus the vectorized fleet engine:
+    :class:`TenantSpec`, :class:`FleetConfig`,
+    :func:`generate_fleet_jobs` (seeded tick-quantized multi-tenant
+    Poisson streams), :func:`run_fleet` / :class:`FleetResult`
+    (pointer-FIFO event core, bit-identical per-job metrics to the
+    twins — :func:`assert_fleet_parity`), and
+    :class:`FleetTopology` for pack/spread/locality GPU placement
+    (see the fleet section of ``docs/performance.md``).
 fault injection
     :class:`FaultPlan` and its event taxonomy (:class:`LatencySpike`,
     :class:`CongestionEpisode`, :class:`LinkFlap`,
@@ -135,6 +146,22 @@ from .apps import (
     register_app,
     registered_apps,
     run_inference,
+)
+from .cdi import (
+    ClusterSpec,
+    FleetConfig,
+    FleetJobs,
+    FleetResult,
+    FleetTopology,
+    SimJob,
+    TenantSpec,
+    TenantStats,
+    assert_fleet_parity,
+    generate_fleet_jobs,
+    run_fleet,
+    simulate_cdi,
+    simulate_traditional,
+    synthetic_job_mix,
 )
 from .des import Environment
 from .experiments import ExperimentContext, run_all, run_experiment
@@ -289,6 +316,21 @@ __all__ = [
     "get_app",
     "registered_apps",
     "app_names",
+    # fleet-scale CDI simulation
+    "SimJob",
+    "ClusterSpec",
+    "simulate_traditional",
+    "simulate_cdi",
+    "synthetic_job_mix",
+    "TenantSpec",
+    "TenantStats",
+    "FleetConfig",
+    "FleetJobs",
+    "FleetResult",
+    "FleetTopology",
+    "generate_fleet_jobs",
+    "run_fleet",
+    "assert_fleet_parity",
     # fault injection
     "FaultPlan",
     "LatencySpike",

@@ -7,8 +7,23 @@ from physical placement to the slack a job experiences.
 """
 
 from .composer import Composer, CompositionError
+from .fleet import (
+    FleetConfig,
+    FleetJobs,
+    FleetResult,
+    TenantSpec,
+    TenantStats,
+    assert_fleet_parity,
+    generate_fleet_jobs,
+    run_fleet,
+)
 from .power import PowerComparison, PowerModel, compare_power
-from .placement import CompositionSlack, PlacementResolver
+from .placement import (
+    PLACEMENT_POLICIES,
+    CompositionSlack,
+    FleetTopology,
+    PlacementResolver,
+)
 from .resources import Composition, CPUNode, GPUChassis, ResourcePool
 from .simulation import (
     ClusterSpec,
@@ -61,4 +76,14 @@ __all__ = [
     "simulate_cdi",
     "synthetic_job_mix",
     "compare_throughput",
+    "FleetTopology",
+    "PLACEMENT_POLICIES",
+    "TenantSpec",
+    "TenantStats",
+    "FleetConfig",
+    "FleetJobs",
+    "FleetResult",
+    "generate_fleet_jobs",
+    "run_fleet",
+    "assert_fleet_parity",
 ]

@@ -11,12 +11,20 @@ back to the proxy/prediction machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from ..network import Fabric, PathInfo, SlackModel
 from .resources import Composition
 
-__all__ = ["PlacementResolver", "CompositionSlack"]
+__all__ = [
+    "PlacementResolver",
+    "CompositionSlack",
+    "FleetTopology",
+    "place_pack",
+    "place_spread",
+    "place_locality",
+    "PLACEMENT_POLICIES",
+]
 
 
 @dataclass(frozen=True)
@@ -65,3 +73,151 @@ class PlacementResolver:
             worst_slack_s=max(slacks),
             best_slack_s=min(slacks),
         )
+
+
+# ---------------------------------------------------------------------------
+# Fleet-scale placement: racks of pooled GPU chassis.
+#
+# The fleet engine (repro.cdi.fleet) schedules against total pool
+# capacity — placement never changes *when* a job runs, only *where*
+# its GPUs land and therefore what fabric slack it experiences. The
+# policies below are pure functions over per-rack free counts so they
+# stay cheap enough to run inline in a million-job simulation.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """Rack-level view of a fleet's GPU pool for placement purposes.
+
+    ``rack_slack_s[r]`` is the one-way fabric slack a host pays to
+    reach rack ``r``'s chassis; placement policies use it to order
+    racks and the fleet report uses it to drive the serving-layer
+    surrogate (penalty distribution per tenant).
+    """
+
+    rack_slack_s: Tuple[float, ...]
+    gpus_per_rack: int
+
+    def __post_init__(self) -> None:
+        if not self.rack_slack_s:
+            raise ValueError("topology needs at least one rack")
+        if self.gpus_per_rack <= 0:
+            raise ValueError("gpus_per_rack must be positive")
+        if any(s < 0 for s in self.rack_slack_s):
+            raise ValueError("rack slack must be non-negative")
+
+    @property
+    def racks(self) -> int:
+        """Number of GPU racks."""
+        return len(self.rack_slack_s)
+
+    @property
+    def total_gpus(self) -> int:
+        """All GPUs across the racks."""
+        return self.racks * self.gpus_per_rack
+
+    @classmethod
+    def uniform(
+        cls,
+        racks: int,
+        gpus_per_rack: int,
+        base_slack_s: float = 2.0e-6,
+        step_slack_s: float = 0.5e-6,
+    ) -> "FleetTopology":
+        """A synthetic row: rack ``r`` at ``base + r * step`` slack."""
+        if racks <= 0:
+            raise ValueError("racks must be positive")
+        return cls(
+            rack_slack_s=tuple(
+                base_slack_s + r * step_slack_s for r in range(racks)
+            ),
+            gpus_per_rack=gpus_per_rack,
+        )
+
+    @classmethod
+    def from_fabric(
+        cls, fabric: Fabric, host: str, gpus_per_rack: int
+    ) -> "FleetTopology":
+        """Measure per-rack slack from ``host`` on a real fabric graph."""
+        racks = sorted(fabric.spec.chassis_racks)
+        if not racks:
+            raise ValueError("fabric has no chassis racks")
+        slacks = tuple(
+            fabric.path(host, f"chassis:{r}").slack_s for r in racks
+        )
+        return cls(rack_slack_s=slacks, gpus_per_rack=gpus_per_rack)
+
+
+def place_pack(
+    free: List[int], need: int, slack_order: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Best-fit packing: the tightest single rack that fits, else span
+    the fullest racks — fewest racks touched, least fragmentation.
+
+    ``free`` is mutated in place (GPUs are taken). Returns
+    ``[(rack, count), ...]``; raises if the pool cannot satisfy.
+    """
+    full_fit = [r for r in range(len(free)) if free[r] >= need]
+    if full_fit:
+        rack = min(full_fit, key=lambda r: (free[r], r))
+        free[rack] -= need
+        return [(rack, need)]
+    placements: List[Tuple[int, int]] = []
+    remaining = need
+    for rack in sorted(range(len(free)), key=lambda r: (-free[r], r)):
+        if remaining == 0:
+            break
+        take = min(free[rack], remaining)
+        if take > 0:
+            free[rack] -= take
+            placements.append((rack, take))
+            remaining -= take
+    if remaining > 0:
+        raise ValueError(f"pool cannot place {need} GPUs")
+    return placements
+
+
+def place_spread(
+    free: List[int], need: int, slack_order: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Load balancing: GPUs go one at a time to the emptiest rack."""
+    taken = [0] * len(free)
+    for _ in range(need):
+        rack = max(range(len(free)), key=lambda r: (free[r], -r))
+        if free[rack] <= 0:
+            raise ValueError(f"pool cannot place {need} GPUs")
+        free[rack] -= 1
+        taken[rack] += 1
+    return [(r, t) for r, t in enumerate(taken) if t > 0]
+
+
+def place_locality(
+    free: List[int], need: int, slack_order: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Slack-aware: the nearest rack that fits whole, else fill racks
+    in ascending-slack order (``slack_order``)."""
+    for rack in slack_order:
+        if free[rack] >= need:
+            free[rack] -= need
+            return [(rack, need)]
+    placements: List[Tuple[int, int]] = []
+    remaining = need
+    for rack in slack_order:
+        if remaining == 0:
+            break
+        take = min(free[rack], remaining)
+        if take > 0:
+            free[rack] -= take
+            placements.append((rack, take))
+            remaining -= take
+    if remaining > 0:
+        raise ValueError(f"pool cannot place {need} GPUs")
+    return placements
+
+
+PLACEMENT_POLICIES = {
+    "pack": place_pack,
+    "spread": place_spread,
+    "locality": place_locality,
+}

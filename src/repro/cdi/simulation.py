@@ -74,12 +74,23 @@ class ClusterSpec:
 
 @dataclass(frozen=True)
 class JobMetrics:
-    """Per-job outcome."""
+    """Per-job outcome.
+
+    ``cores_start_s`` is when the job's cores (or nodes) were granted;
+    for CDI jobs that then block on the GPU pool it can precede
+    ``start_s``, and the capacity held across that gap is charged to
+    ``trapped_core_s``. Traditional allocations acquire atomically, so
+    there ``cores_start_s == start_s`` and the trapped fields count the
+    statically stranded remainder of the whole-node footprint.
+    """
 
     name: str
     wait_s: float
     start_s: float
     end_s: float
+    cores_start_s: float = 0.0
+    trapped_core_s: float = 0.0
+    trapped_gpu_s: float = 0.0
 
 
 @dataclass
@@ -90,6 +101,7 @@ class SimulationMetrics:
     makespan_s: float = 0.0
     core_busy_s: float = 0.0
     gpu_busy_s: float = 0.0
+    trapped_core_s: float = 0.0
     trapped_gpu_s: float = 0.0
     total_cores: int = 0
     total_gpus: int = 0
@@ -114,6 +126,12 @@ class SimulationMetrics:
         return self.gpu_busy_s / denom if denom > 0 else 0.0
 
     @property
+    def trapped_core_hours(self) -> float:
+        """Core-hours stranded: whole-node remainders plus capacity a
+        CDI job held while blocked on the GPU pool (hold-and-wait)."""
+        return self.trapped_core_s / 3600.0
+
+    @property
     def trapped_gpu_hours(self) -> float:
         """GPU-hours allocated to jobs that never used them."""
         return self.trapped_gpu_s / 3600.0
@@ -121,7 +139,7 @@ class SimulationMetrics:
 
 def _run_stream(
     jobs: Sequence[SimJob],
-    acquire_sizes,  # job -> (node_or_core_amount, gpu_amount, trapped_gpus)
+    acquire_sizes,  # job -> (amount, gpu_amount, trapped_cores, trapped_gpus)
     cores_pool: Container,
     gpus_pool: Optional[Container],
     env: Environment,
@@ -130,22 +148,33 @@ def _run_stream(
     def job_proc(job: SimJob) -> Generator[Event, Any, None]:
         yield env.timeout(job.arrival_s)
         arrived = env.now
-        core_amt, gpu_amt, trapped_gpus = acquire_sizes(job)
+        core_amt, gpu_amt, trapped_cores, trapped_gpus = acquire_sizes(job)
         yield cores_pool.get(core_amt)
+        cores_at = env.now
+        held_core_s = 0.0
         if gpus_pool is not None and gpu_amt > 0:
             yield gpus_pool.get(gpu_amt)
+            # Hold-and-wait: the cores were granted but sat blocked on
+            # the GPU pool — capacity no other job could use.
+            held_core_s = job.cores * (env.now - cores_at)
         start = env.now
         yield env.timeout(job.duration_s)
         yield cores_pool.put(core_amt)
         if gpus_pool is not None and gpu_amt > 0:
             yield gpus_pool.put(gpu_amt)
+        job_trapped_core_s = trapped_cores * job.duration_s + held_core_s
+        job_trapped_gpu_s = trapped_gpus * job.duration_s
         metrics.jobs.append(
             JobMetrics(name=job.name, wait_s=start - arrived,
-                       start_s=start, end_s=env.now)
+                       start_s=start, end_s=env.now,
+                       cores_start_s=cores_at,
+                       trapped_core_s=job_trapped_core_s,
+                       trapped_gpu_s=job_trapped_gpu_s)
         )
         metrics.core_busy_s += job.cores * job.duration_s
         metrics.gpu_busy_s += job.gpus * job.duration_s
-        metrics.trapped_gpu_s += trapped_gpus * job.duration_s
+        metrics.trapped_core_s += job_trapped_core_s
+        metrics.trapped_gpu_s += job_trapped_gpu_s
 
     for job in jobs:
         env.process(job_proc(job), name=f"job-{job.name}")
@@ -168,7 +197,7 @@ def simulate_traditional(
         total_cores=cluster.total_cores, total_gpus=cluster.total_gpus
     )
 
-    def sizes(job: SimJob) -> Tuple[float, float, int]:
+    def sizes(job: SimJob) -> Tuple[int, int, int, int]:
         need = max(
             1,
             math.ceil(job.cores / cluster.cores_per_node),
@@ -178,8 +207,9 @@ def simulate_traditional(
         )
         if need > cluster.nodes:
             raise ValueError(f"job {job.name} larger than the machine")
+        trapped_cores = need * cluster.cores_per_node - job.cores
         trapped_gpus = need * cluster.gpus_per_node - job.gpus
-        return (need, 0, trapped_gpus)
+        return (need, 0, trapped_cores, trapped_gpus)
 
     _run_stream(jobs, sizes, nodes_pool, None, env, metrics)
     return metrics
@@ -193,18 +223,20 @@ def simulate_cdi(
     cores_pool = Container(
         env, capacity=cluster.total_cores, init=cluster.total_cores
     )
-    gpus_pool = Container(
-        env, capacity=max(1, cluster.total_gpus),
-        init=max(1, cluster.total_gpus),
+    # Zero-GPU clusters simply have no GPU pool (no phantom capacity).
+    gpus_pool = (
+        Container(env, capacity=cluster.total_gpus, init=cluster.total_gpus)
+        if cluster.total_gpus > 0
+        else None
     )
     metrics = SimulationMetrics(
         total_cores=cluster.total_cores, total_gpus=cluster.total_gpus
     )
 
-    def sizes(job: SimJob) -> Tuple[float, float, int]:
+    def sizes(job: SimJob) -> Tuple[int, int, int, int]:
         if job.cores > cluster.total_cores or job.gpus > cluster.total_gpus:
             raise ValueError(f"job {job.name} larger than the machine")
-        return (job.cores, job.gpus, 0)
+        return (job.cores, job.gpus, 0, 0)
 
     _run_stream(jobs, sizes, cores_pool, gpus_pool, env, metrics)
     return metrics

@@ -22,6 +22,12 @@ Subcommands:
   reassembles worker artifacts into the full surface, and
   ``--shard-workers N`` does both locally over N subprocesses — see
   docs/performance.md);
+* ``fleet`` — fleet-scale CDI simulation: generate a seeded
+  multi-tenant job stream and run it through the vectorized fleet
+  engine (``--mode both`` compares traditional vs CDI; ``--parity``
+  first proves per-job bit-parity against the scalar reference DES;
+  ``--racks`` adds rack placement and, with ``--penalties``, a
+  per-tenant slack-penalty distribution — see docs/performance.md);
 * ``faults`` — describe/validate a fault-plan spec without running;
 * ``metrics`` — render a RunReport JSON (see docs/observability.md)
   as a human-readable table;
@@ -159,6 +165,69 @@ def build_parser() -> argparse.ArgumentParser:
                               "percentage points)")
     _add_parallel_flags(sweep_p)
 
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="fleet-scale CDI simulation on the vectorized engine",
+    )
+    fleet_p.add_argument("--tenant", action="append", dest="tenants",
+                         metavar="NAME:PER_HOUR[:CPU%%:GPU%%]",
+                         help="add a tenant: arrival rate in jobs/hour "
+                              "plus optional CPU-heavy / GPU-heavy "
+                              "archetype shares in percent (default "
+                              "tenants: batch 4/h, interactive 2/h)")
+    fleet_p.add_argument("--horizon", type=float, default=7 * 24 * 3600.0,
+                         metavar="SECONDS",
+                         help="arrival horizon in seconds "
+                              "(default: one week)")
+    fleet_p.add_argument("--max-jobs", type=int, default=None,
+                         dest="max_jobs", metavar="N",
+                         help="truncate the generated stream to N jobs")
+    fleet_p.add_argument("--seed", type=int, default=2024,
+                         help="generation seed (default 2024)")
+    fleet_p.add_argument("--nodes", type=int, default=16,
+                         help="cluster nodes (default 16)")
+    fleet_p.add_argument("--cores-per-node", type=int, default=48,
+                         dest="cores_per_node", metavar="C",
+                         help="cores per node (default 48)")
+    fleet_p.add_argument("--gpus-per-node", type=int, default=4,
+                         dest="gpus_per_node", metavar="G",
+                         help="GPUs per node (default 4)")
+    fleet_p.add_argument("--mode", choices=["cdi", "traditional", "both"],
+                         default="both",
+                         help="scheduling discipline to simulate "
+                              "(default: both, as a comparison)")
+    fleet_p.add_argument("--placement",
+                         choices=["pack", "spread", "locality"],
+                         default="pack",
+                         help="rack placement policy (with --racks)")
+    fleet_p.add_argument("--racks", type=int, default=0,
+                         help="replay GPU grants onto N racks of a "
+                              "uniform topology (0 = no placement)")
+    fleet_p.add_argument("--penalties", action="store_true",
+                         help="evaluate per-job slack penalties through "
+                              "the serving surrogate (requires --racks; "
+                              "CDI mode only)")
+    fleet_p.add_argument("--penalty-matrix", type=int, default=2048,
+                         dest="penalty_matrix", metavar="N",
+                         help="proxy matrix size for --penalties "
+                              "(default 2048; must be on the measured "
+                              "grid)")
+    fleet_p.add_argument("--full", action="store_true",
+                         help="fit the --penalties surrogate over the "
+                              "paper's full sweep")
+    fleet_p.add_argument("--faults", metavar="SPEC", dest="faults",
+                         help="fault plan whose link-flap windows freeze "
+                              "GPU admission fleet-wide (CDI mode; see "
+                              "docs/faults.md)")
+    fleet_p.add_argument("--parity", action="store_true",
+                         help="first prove per-job bit-parity against "
+                              "the scalar reference DES (slow: runs the "
+                              "generator simulation too)")
+    fleet_p.add_argument("--metrics-out", metavar="PATH",
+                         dest="metrics_out",
+                         help="enable the metrics registry and write a "
+                              "kind=fleet RunReport JSON to PATH")
+
     faults_p = sub.add_parser(
         "faults", help="describe or validate a fault-plan spec"
     )
@@ -276,6 +345,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "predict":
@@ -499,6 +570,172 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"valid fault plan: seed={plan.seed}, "
             f"{len(plan.events)} event(s)"
         )
+    return 0
+
+
+def _parse_tenant_arg(spec: str):
+    """Parse ``--tenant NAME:PER_HOUR[:CPU%:GPU%]`` into a TenantSpec."""
+    from .cdi import TenantSpec
+
+    parts = spec.split(":")
+    try:
+        if len(parts) == 2:
+            return TenantSpec(name=parts[0], rate_per_s=float(parts[1]) / 3600.0)
+        if len(parts) == 4:
+            return TenantSpec(
+                name=parts[0],
+                rate_per_s=float(parts[1]) / 3600.0,
+                cpu_heavy_share=float(parts[2]) / 100.0,
+                gpu_heavy_share=float(parts[3]) / 100.0,
+            )
+        raise ValueError("want NAME:PER_HOUR[:CPU%:GPU%]")
+    except ValueError as exc:
+        raise SystemExit(f"invalid --tenant {spec!r}: {exc}")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Generate a multi-tenant stream and run the fleet engine."""
+    from .cdi import (
+        ClusterSpec,
+        FleetConfig,
+        FleetTopology,
+        assert_fleet_parity,
+        generate_fleet_jobs,
+        run_fleet,
+    )
+
+    try:
+        cluster = ClusterSpec(
+            nodes=args.nodes,
+            cores_per_node=args.cores_per_node,
+            gpus_per_node=args.gpus_per_node,
+        )
+    except ValueError as exc:
+        print(f"invalid cluster geometry: {exc}", file=sys.stderr)
+        return 2
+
+    config_kwargs = dict(
+        cluster=cluster,
+        horizon_s=args.horizon,
+        seed=args.seed,
+        max_jobs=args.max_jobs,
+    )
+    if args.tenants:
+        config_kwargs["tenants"] = tuple(
+            _parse_tenant_arg(s) for s in args.tenants
+        )
+    try:
+        config = FleetConfig(**config_kwargs)
+        jobs = generate_fleet_jobs(config)
+    except ValueError as exc:
+        print(f"cannot generate fleet stream: {exc}", file=sys.stderr)
+        return 2
+
+    topology = None
+    if args.racks:
+        if args.racks < 0 or cluster.total_gpus == 0 or (
+            cluster.total_gpus % args.racks
+        ):
+            print(
+                f"--racks must evenly divide the {cluster.total_gpus} "
+                f"cluster GPUs",
+                file=sys.stderr,
+            )
+            return 2
+        topology = FleetTopology.uniform(
+            args.racks, cluster.total_gpus // args.racks
+        )
+    if args.penalties and topology is None:
+        print("--penalties requires --racks", file=sys.stderr)
+        return 2
+    surrogate = None
+    if args.penalties:
+        ctx = ExperimentContext(quick=not args.full)
+        surrogate = ctx.surrogate(method="loglinear")
+    faults = _parse_faults_arg(args)
+
+    modes = ["traditional", "cdi"] if args.mode == "both" else [args.mode]
+    print(
+        f"fleet stream: {len(jobs)} jobs from "
+        f"{len(jobs.tenant_names)} tenant(s) over "
+        f"{config.horizon_s / 86400.0:g} day(s), seed {config.seed}; "
+        f"cluster {cluster.nodes} nodes x {cluster.cores_per_node} cores "
+        f"+ {cluster.gpus_per_node} GPUs"
+    )
+
+    if args.parity:
+        if faults is not None:
+            print(
+                "--parity is defined for the fault-free schedule; "
+                "checking with faults disabled",
+                file=sys.stderr,
+            )
+        for m in modes:
+            t0 = time.time()
+            assert_fleet_parity(jobs, cluster, m)
+            print(
+                f"[parity: {len(jobs)} jobs bit-identical to the "
+                f"scalar {m} DES in {time.time() - t0:.1f}s]",
+                file=sys.stderr,
+            )
+
+    metrics_out = _maybe_enable_metrics(args)
+    results = {}
+    for m in modes:
+        t0 = time.time()
+        result = run_fleet(
+            jobs,
+            cluster,
+            m,
+            placement=args.placement,
+            topology=topology,
+            faults=faults,
+            surrogate=surrogate,
+            penalty_matrix_size=args.penalty_matrix,
+        )
+        wall = time.time() - t0
+        results[m] = result
+        rate = len(jobs) / wall if wall > 0 else float("inf")
+        print(f"\n--- {m}: {len(jobs)} jobs simulated in {wall:.2f}s "
+              f"({rate:,.0f} jobs/s) ---")
+        print(f"makespan {result.makespan_s / 3600.0:.1f} h, "
+              f"mean wait {result.mean_wait_s:.1f} s, "
+              f"core util {result.core_utilization:.1%}, "
+              f"GPU util {result.gpu_utilization:.1%}, "
+              f"trapped {result.trapped_core_hours:.1f} core-h / "
+              f"{result.trapped_gpu_hours:.1f} GPU-h")
+        if result.penalty is not None and result.penalty_refusals:
+            print(f"penalty refusals: {result.penalty_refusals} "
+                  f"(slack outside the surrogate domain)")
+        header = (f"{'tenant':<14}{'jobs':>8}{'wait p50 [s]':>14}"
+                  f"{'wait p99 [s]':>14}{'trapped core-h':>16}")
+        if result.penalty is not None:
+            header += f"{'penalty p50 [%]':>17}{'p99 [%]':>9}"
+        print(header)
+        for name, ts in result.tenant_stats().items():
+            row = (f"{name:<14}{ts.jobs:>8d}{ts.wait_p50_s:>14.1f}"
+                   f"{ts.wait_p99_s:>14.1f}{ts.trapped_core_hours:>16.1f}")
+            if result.penalty is not None:
+                if ts.penalty_p50 is not None:
+                    row += (f"{ts.penalty_p50 * 100:>17.4f}"
+                            f"{(ts.penalty_p99 or 0.0) * 100:>9.4f}")
+                else:
+                    row += f"{'-':>17}{'-':>9}"
+            print(row)
+
+    if len(results) == 2:
+        trad, cdi = results["traditional"], results["cdi"]
+        trapped_trad = trad.trapped_core_hours + trad.trapped_gpu_hours
+        trapped_cdi = cdi.trapped_core_hours + cdi.trapped_gpu_hours
+        print(f"\nCDI vs traditional: trapped resource-hours "
+              f"{trapped_trad:.1f} -> {trapped_cdi:.1f}, "
+              f"mean wait {trad.mean_wait_s:.1f} s -> "
+              f"{cdi.mean_wait_s:.1f} s")
+
+    _write_metrics_report(
+        metrics_out, kind="fleet",
+        meta={"modes": modes, "jobs": len(jobs)},
+    )
     return 0
 
 

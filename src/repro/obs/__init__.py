@@ -42,6 +42,7 @@ from .metrics import (
 )
 from .publish import (
     publish_executor,
+    publish_fleet,
     publish_inference,
     publish_link,
     publish_nic,
@@ -69,6 +70,7 @@ __all__ = [
     "simulation_snapshot",
     "publish_snapshot",
     "publish_executor",
+    "publish_fleet",
     "publish_inference",
     "publish_link",
     "publish_nic",

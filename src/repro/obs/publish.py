@@ -39,6 +39,7 @@ __all__ = [
     "simulation_snapshot",
     "publish_snapshot",
     "publish_executor",
+    "publish_fleet",
     "publish_inference",
     "publish_link",
     "publish_nic",
@@ -220,6 +221,52 @@ def publish_inference(
         depth.observe(batch.queue_depth)
     high_water = reg.gauge("apps.inference.queue_high_water")
     high_water.set(max(high_water.value, result.queue_high_water))
+
+
+def publish_fleet(
+    result: Any,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """Publish one fleet run under ``fleet.*``.
+
+    ``result`` is a :class:`repro.cdi.fleet.FleetResult`. Counters
+    accumulate job counts, busy and trapped resource-seconds and
+    surrogate refusals across runs; per-tenant queue-wait and penalty
+    percentiles land in histograms (one observation per tenant per
+    run, never per job — a million-job run publishes a handful of
+    scalars); utilizations and the makespan max-merge into gauges.
+    The snapshot idiom of every other layer: nothing on the engine's
+    hot path.
+    """
+    reg: Any = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("fleet.runs").inc()
+    reg.counter("fleet.jobs").inc(len(result))
+    reg.counter("fleet.core_busy_s").inc(result.core_busy_s)
+    reg.counter("fleet.gpu_busy_s").inc(result.gpu_busy_s)
+    reg.counter("fleet.trapped_core_s").inc(
+        result.trapped_core_hours * 3600.0
+    )
+    reg.counter("fleet.trapped_gpu_s").inc(result.trapped_gpu_hours * 3600.0)
+    reg.counter("fleet.penalty_refusals").inc(result.penalty_refusals)
+    wait_p50 = reg.histogram("fleet.tenant_wait_p50_s")
+    wait_p99 = reg.histogram("fleet.tenant_wait_p99_s")
+    pen_p50 = reg.histogram("fleet.tenant_penalty_p50")
+    pen_p99 = reg.histogram("fleet.tenant_penalty_p99")
+    for stats in result.tenant_stats().values():
+        wait_p50.observe(stats.wait_p50_s)
+        wait_p99.observe(stats.wait_p99_s)
+        if stats.penalty_p50 is not None:
+            pen_p50.observe(stats.penalty_p50)
+        if stats.penalty_p99 is not None:
+            pen_p99.observe(stats.penalty_p99)
+    core_util = reg.gauge("fleet.core_utilization")
+    core_util.set(max(core_util.value, result.core_utilization))
+    gpu_util = reg.gauge("fleet.gpu_utilization")
+    gpu_util.set(max(gpu_util.value, result.gpu_utilization))
+    makespan = reg.gauge("fleet.makespan_s")
+    makespan.set(max(makespan.value, result.makespan_s))
 
 
 #: Serving stats that are high-water marks, not additive totals: they

@@ -30,7 +30,17 @@ property tests in ``tests/trace/test_store.py``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -171,6 +181,71 @@ class ColumnStore:
         self.copy[i] = copy_code
         self.metas.append(meta if meta else None)
         self.n = i + 1
+        return i
+
+    def extend_rows(
+        self,
+        kind_code: int,
+        name_codes: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+        stream: Optional[np.ndarray] = None,
+        nbytes: Optional[np.ndarray] = None,
+        copy_code: int = _NONE,
+        correlation_id: Optional[np.ndarray] = None,
+        thread: Optional[np.ndarray] = None,
+    ) -> int:
+        """Bulk :meth:`append_row`: append ``len(start)`` rows at once.
+
+        All rows share one ``kind_code`` and ``copy_code``;
+        ``name_codes`` must be pre-interned (see :meth:`intern_name`).
+        Optional columns default to the same sentinels as the scalar
+        path. Validation matches :meth:`append_row` and reports the
+        first offending row. Returns the index of the first new row.
+        """
+        start = np.asarray(start, dtype=np.float64)
+        end = np.asarray(end, dtype=np.float64)
+        m = len(start)
+        if len(end) != m or len(np.atleast_1d(name_codes)) not in (1, m):
+            raise ValueError("bulk columns must align")
+        bad = np.flatnonzero(end < start)
+        if len(bad):
+            row = int(bad[0])
+            codes = np.broadcast_to(np.atleast_1d(name_codes), (m,))
+            name = self._names[int(codes[row])]
+            raise ValueError(
+                f"event {name!r} ends ({end[row]}) before it starts "
+                f"({start[row]})"
+            )
+        if nbytes is not None and len(np.atleast_1d(nbytes)) and int(
+            np.min(nbytes)
+        ) < 0:
+            raise ValueError("nbytes must be non-negative")
+        if kind_code == _MEMCPY_CODE and copy_code == _NONE:
+            raise ValueError("memcpy events need a copy_kind")
+        i = self.n
+        if i + m > self.capacity:
+            while self.capacity < i + m:
+                self.capacity *= 2
+            for col in ("start", "end", "stream", "nbytes", "corr", "thread",
+                        "kind", "name_code", "copy"):
+                old = getattr(self, col)
+                grown = np.empty(self.capacity, dtype=old.dtype)
+                grown[:i] = old[:i]
+                setattr(self, col, grown)
+            self.growths += 1
+        sl = slice(i, i + m)
+        self.start[sl] = start
+        self.end[sl] = end
+        self.stream[sl] = _NONE if stream is None else stream
+        self.nbytes[sl] = 0 if nbytes is None else nbytes
+        self.corr[sl] = 0 if correlation_id is None else correlation_id
+        self.thread[sl] = 0 if thread is None else thread
+        self.kind[sl] = kind_code
+        self.name_code[sl] = name_codes
+        self.copy[sl] = copy_code
+        self.metas.extend([None] * m)
+        self.n = i + m
         return i
 
     # -- reading -----------------------------------------------------------------
@@ -317,6 +392,47 @@ class ColumnarTrace(Trace):
             correlation_id,
             thread,
             meta,
+        )
+
+    def record_batch(
+        self,
+        kind: EventKind,
+        names: Union[str, Sequence[str]],
+        start: np.ndarray,
+        end: np.ndarray,
+        stream: Optional[np.ndarray] = None,
+        nbytes: Optional[np.ndarray] = None,
+        copy_kind: Optional[CopyKind] = None,
+        correlation_id: Optional[np.ndarray] = None,
+        thread: Optional[np.ndarray] = None,
+    ) -> None:
+        """Vectorized :meth:`record_fast`: one call, many rows.
+
+        ``names`` is a single shared name or a per-row sequence;
+        everything else broadcasts like numpy. This is the fleet
+        engine's recording path — a million job events land as slice
+        assignments instead of a million Python-level appends.
+        """
+        if self._selection is not None:
+            raise TypeError("cannot record into a filtered trace view")
+        if isinstance(names, str):
+            codes: Any = self._store.intern_name(names)
+        else:
+            codes = np.fromiter(
+                (self._store.intern_name(s) for s in names),
+                dtype=np.int32,
+                count=len(names),
+            )
+        self._store.extend_rows(
+            _KIND_CODE[kind],
+            codes,
+            start,
+            end,
+            stream=stream,
+            nbytes=nbytes,
+            copy_code=_NONE if copy_kind is None else _COPY_CODE[copy_kind],
+            correlation_id=correlation_id,
+            thread=thread,
         )
 
     def append(self, event: TraceEvent) -> None:

@@ -1,0 +1,181 @@
+"""Property-based tests: scheduler and power-model invariants.
+
+The Section V comparison rests on bookkeeping identities that must
+hold for *any* job stream, not just the worked example: pools conserve
+inventory through compose/release cycles, every traditional placement
+decomposes into used + trapped exactly, CDI grants are exact (so its
+achieved CPU:GPU ratio is never further from the request than the
+traditional node ratio), and trapped power is linear in the trapped
+counts.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdi import (
+    CDIScheduler,
+    CPUNode,
+    GPUChassis,
+    JobRequest,
+    PowerModel,
+    ResourcePool,
+    TraditionalScheduler,
+    compare_power,
+)
+
+CORES_PER_NODE = 48  # two EPYC-7413 sockets
+GPUS_PER_NODE = 4
+
+
+def make_pool(nodes=8, chassis=4, gpus_per_chassis=8):
+    return ResourcePool(
+        nodes=[CPUNode(node_id=f"n{i}", sockets=2) for i in range(nodes)],
+        chassis=[
+            GPUChassis(chassis_id=f"c{i}", gpu_count=gpus_per_chassis, rack=i)
+            for i in range(chassis)
+        ],
+    )
+
+
+jobs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=96),   # cores
+        st.integers(min_value=0, max_value=8),    # gpus
+    ),
+    min_size=1,
+    max_size=12,
+).map(
+    lambda sizes: [
+        JobRequest(name=f"job{i}", cores=c, gpus=g)
+        for i, (c, g) in enumerate(sizes)
+    ]
+)
+
+
+class TestInventoryConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=jobs_strategy)
+    def test_cdi_pool_conserves_inventory(self, jobs):
+        pool = make_pool()
+        total_cores, total_gpus = pool.total_cores, pool.total_gpus
+        sched = CDIScheduler(pool)
+        outcome = sched.schedule(jobs)
+
+        granted_cores = sum(p.granted_cores for p in outcome.placements)
+        granted_gpus = sum(p.granted_gpus for p in outcome.placements)
+        assert pool.free_cores == total_cores - granted_cores
+        assert pool.free_gpus == total_gpus - granted_gpus
+        assert len(outcome.placements) + len(outcome.rejected) == len(jobs)
+
+        # Releasing every composition restores the pool bit for bit.
+        for name in [p.job.name for p in outcome.placements]:
+            sched.composer.release(sched.compositions[name])
+        assert pool.free_cores == total_cores
+        assert pool.free_gpus == total_gpus
+        # And no chassis keeps phantom power state behind.
+        assert all(not c.powered_on for c in pool.chassis.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=jobs_strategy)
+    def test_traditional_conserves_nodes(self, jobs):
+        sched = TraditionalScheduler(
+            node_count=8,
+            cores_per_node=CORES_PER_NODE,
+            gpus_per_node=GPUS_PER_NODE,
+        )
+        outcome = sched.schedule(jobs)
+        nodes_used = sum(
+            p.granted_cores // CORES_PER_NODE for p in outcome.placements
+        )
+        assert sched.free_nodes == 8 - nodes_used
+        assert 0 <= sched.free_nodes <= 8
+
+
+class TestTrappedAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=jobs_strategy)
+    def test_traditional_grant_decomposes_exactly(self, jobs):
+        sched = TraditionalScheduler(
+            node_count=8,
+            cores_per_node=CORES_PER_NODE,
+            gpus_per_node=GPUS_PER_NODE,
+        )
+        outcome = sched.schedule(jobs)
+        for p in outcome.placements:
+            # granted = used + trapped, in whole-node multiples.
+            assert p.granted_cores == p.job.cores + p.trapped_cores
+            assert p.granted_gpus == p.job.gpus + p.trapped_gpus
+            assert p.granted_cores % CORES_PER_NODE == 0
+            assert p.granted_gpus % GPUS_PER_NODE == 0
+            assert p.trapped_cores >= 0 and p.trapped_gpus >= 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=jobs_strategy)
+    def test_cdi_traps_nothing(self, jobs):
+        outcome = CDIScheduler(make_pool()).schedule(jobs)
+        assert outcome.trapped_cores == 0
+        assert outcome.trapped_gpus == 0
+        for p in outcome.placements:
+            assert p.granted_cores == p.job.cores
+            assert p.granted_gpus == p.job.gpus
+
+
+class TestAchievedRatio:
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=jobs_strategy)
+    def test_cdi_never_worse_than_traditional(self, jobs):
+        trad = TraditionalScheduler(
+            node_count=16,
+            cores_per_node=CORES_PER_NODE,
+            gpus_per_node=GPUS_PER_NODE,
+        ).schedule(jobs)
+        cdi = CDIScheduler(make_pool(nodes=16, chassis=8)).schedule(jobs)
+        placed_both = {p.job.name for p in trad.placements} & {
+            p.job.name for p in cdi.placements
+        }
+        for name in placed_both:
+            want = trad.placement(name).requested_ratio
+            if math.isinf(want):
+                continue  # no-GPU jobs have no finite target ratio
+            # CDI is exact; traditional is stuck at the node ratio.
+            cdi_err = abs(cdi.placement(name).cores_per_gpu - want)
+            trad_err = abs(trad.placement(name).cores_per_gpu - want)
+            assert cdi_err == 0.0
+            assert cdi_err <= trad_err
+
+
+class TestPowerModel:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        jobs=jobs_strategy,
+        gpu_w=st.floats(min_value=0.0, max_value=500.0),
+        core_w=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_trapped_power_is_linear(self, jobs, gpu_w, core_w):
+        trad = TraditionalScheduler(
+            node_count=8,
+            cores_per_node=CORES_PER_NODE,
+            gpus_per_node=GPUS_PER_NODE,
+        ).schedule(jobs)
+        cdi = CDIScheduler(make_pool()).schedule(jobs)
+        model = PowerModel(gpu_idle_w=gpu_w, core_idle_w=core_w)
+        cmp = compare_power(trad, cdi, model)
+        assert cmp.traditional_w == pytest.approx(
+            trad.trapped_gpus * gpu_w + trad.trapped_cores * core_w
+        )
+        assert cmp.cdi_w == 0.0  # CDI powers down what it does not grant
+        assert cmp.saved_w == cmp.traditional_w
+        assert cmp.saved_kwh(10.0) == pytest.approx(cmp.saved_w / 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(gpu_idle_w=-1.0)
+        cmp = compare_power(
+            TraditionalScheduler(node_count=1).schedule([]),
+            CDIScheduler(make_pool(nodes=1, chassis=1)).schedule([]),
+        )
+        with pytest.raises(ValueError):
+            cmp.saved_kwh(-1.0)

@@ -69,6 +69,41 @@ class TestTrappedResources:
         assert m.trapped_gpu_s == 0.0
 
 
+class TestHoldAndWait:
+    """Cores granted while blocked on the GPU pool are trapped time."""
+
+    def test_cdi_charges_held_cores(self):
+        # A grabs all 4 GPUs for 100s; B gets its core immediately but
+        # holds it uselessly until A releases the GPUs.
+        cluster = ClusterSpec(nodes=1, cores_per_node=48, gpus_per_node=4)
+        jobs = [
+            job(name="a", cores=1, gpus=4, duration=100.0),
+            job(name="b", arrival=0.0, cores=2, gpus=1, duration=10.0),
+        ]
+        m = simulate_cdi(jobs, cluster)
+        b = next(j for j in m.jobs if j.name == "b")
+        assert b.cores_start_s == pytest.approx(0.0)
+        assert b.start_s == pytest.approx(100.0)
+        assert b.trapped_core_s == pytest.approx(2 * 100.0)
+        assert m.trapped_core_s == pytest.approx(2 * 100.0)
+
+    def test_traditional_grant_is_atomic(self):
+        jobs = [job(name=f"j{i}", arrival=i * 5.0) for i in range(6)]
+        m = simulate_traditional(jobs, ClusterSpec(nodes=2))
+        for jm in m.jobs:
+            assert jm.cores_start_s == jm.start_s
+
+    def test_zero_gpu_cluster_has_no_phantom_pool(self):
+        cluster = ClusterSpec(nodes=2, cores_per_node=48, gpus_per_node=0)
+        jobs = [job(name=f"j{i}", cores=24, gpus=0, duration=50.0)
+                for i in range(4)]
+        m = simulate_cdi(jobs, cluster)
+        assert len(m.jobs) == 4
+        assert m.trapped_core_s == 0.0
+        assert m.trapped_gpu_s == 0.0
+        assert m.gpu_utilization == 0.0
+
+
 class TestContention:
     def test_traditional_serializes_node_hogs(self):
         # Two jobs that each need all nodes' cores: strictly serial.

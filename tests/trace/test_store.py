@@ -237,3 +237,101 @@ class TestValidationAndStore:
             columnar.events_in_record_order()
         )
         assert again.busy_time() == columnar.busy_time()
+
+
+class TestBulkAppend:
+    """record_batch must be indistinguishable from a record_fast loop."""
+
+    @pytest.mark.parametrize("seed", SEEDS[:3])
+    def test_batch_equals_scalar_loop(self, seed):
+        rng = np.random.RandomState(seed)
+        n = 200
+        names = [str(rng.choice(NAMES)) for _ in range(n)]
+        start = rng.randint(0, 50, size=n).astype(np.float64) * 1e-4
+        end = start + rng.choice([0.0, 1e-5, 3e-4], size=n)
+        stream = rng.randint(0, 4, size=n)
+        nbytes = rng.randint(0, 1 << 20, size=n)
+        thread = rng.randint(0, 8, size=n)
+
+        looped = ColumnarTrace(name="t")
+        for i in range(n):
+            looped.record_fast(
+                EventKind.KERNEL, names[i], float(start[i]), float(end[i]),
+                stream=int(stream[i]), nbytes=int(nbytes[i]),
+                thread=int(thread[i]),
+            )
+        batched = ColumnarTrace(name="t")
+        batched.record_batch(
+            EventKind.KERNEL, names, start, end,
+            stream=stream, nbytes=nbytes, thread=thread,
+        )
+        assert list(batched) == list(looped)
+        assert batched.events_in_record_order() == (
+            looped.events_in_record_order()
+        )
+        assert batched.store.stats()["interned_names"] == (
+            looped.store.stats()["interned_names"]
+        )
+
+    def test_shared_name_and_defaults(self):
+        trace = ColumnarTrace(name="t")
+        trace.record_batch(
+            EventKind.API, "call", np.array([0.0, 1.0]), np.array([0.5, 2.0])
+        )
+        events = trace.events_in_record_order()
+        assert [e.name for e in events] == ["call", "call"]
+        assert all(e.stream is None for e in events)
+        assert all(e.nbytes == 0 and e.thread == 0 for e in events)
+        assert trace.store.stats()["interned_names"] == 1
+
+    def test_batch_memcpy_needs_copy_kind(self):
+        trace = ColumnarTrace(name="t")
+        with pytest.raises(ValueError, match="copy_kind"):
+            trace.record_batch(
+                EventKind.MEMCPY, "cp", np.array([0.0]), np.array([1.0])
+            )
+        trace.record_batch(
+            EventKind.MEMCPY, "cp", np.array([0.0]), np.array([1.0]),
+            nbytes=np.array([64]), copy_kind=CopyKind.H2D,
+        )
+        assert trace.events_in_record_order()[0].copy_kind is CopyKind.H2D
+
+    def test_batch_validation_reports_first_offender(self):
+        trace = ColumnarTrace(name="t")
+        with pytest.raises(ValueError, match="'b' ends"):
+            trace.record_batch(
+                EventKind.KERNEL, ["a", "b", "c"],
+                np.array([0.0, 5.0, 1.0]), np.array([1.0, 4.0, 0.5]),
+            )
+        with pytest.raises(ValueError, match="align"):
+            trace.record_batch(
+                EventKind.KERNEL, ["a", "b"],
+                np.array([0.0]), np.array([1.0, 2.0]),
+            )
+        with pytest.raises(ValueError, match="nbytes"):
+            trace.record_batch(
+                EventKind.KERNEL, "k", np.array([0.0]), np.array([1.0]),
+                nbytes=np.array([-1]),
+            )
+
+    def test_views_reject_bulk_recording(self):
+        trace = ColumnarTrace(name="t")
+        trace.record_batch(
+            EventKind.KERNEL, "k", np.array([0.0]), np.array([1.0])
+        )
+        with pytest.raises(TypeError):
+            trace.kernels().record_batch(
+                EventKind.KERNEL, "k", np.array([0.0]), np.array([1.0])
+            )
+
+    def test_single_grow_for_large_batch(self):
+        store = ColumnStore(capacity=4)
+        trace = ColumnarTrace(store=store)
+        trace.record_batch(
+            EventKind.KERNEL, "k",
+            np.arange(1000, dtype=np.float64),
+            np.arange(1000, dtype=np.float64) + 0.5,
+        )
+        assert store.stats()["events"] == 1000
+        assert store.stats()["growths"] == 1  # one doubling sweep
+        assert store.capacity == 1024
